@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: all build vet test test-race bench examples experiments quick-experiments
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# The simulator is heavily concurrent; the race detector is a useful gate.
+test-race:
+	go test -race ./internal/mpisim/ ./internal/core/ ./internal/trace/
+
+bench:
+	go test -bench=. -benchmem ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/real_transform
+	go run ./examples/turbulence
+	go run ./examples/tuning
+	go run ./examples/lammps_kspace
+
+# Paper-scale reproduction of every table and figure (~10 minutes).
+experiments:
+	go run ./cmd/fftbench -all | tee experiments_full.txt
+
+quick-experiments:
+	go run ./cmd/fftbench -all -quick

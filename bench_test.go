@@ -1,0 +1,44 @@
+// Package repro's top-level benchmarks regenerate each table and figure of
+// the paper through the internal/bench harness (quick mode, so `go test
+// -bench=.` completes in minutes; run `fftbench -exp <id>` for paper-scale
+// sweeps). One benchmark per experiment, named after the paper artifact.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(id, io.Discard, bench.RunOptions{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Capabilities(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2SoftwareStack(b *testing.B)     { benchExperiment(b, "table2") }
+func BenchmarkTable3GridSequence(b *testing.B)      { benchExperiment(b, "table3") }
+func BenchmarkFig02AlltoallFlavours(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig03PointToPoint(b *testing.B)       { benchExperiment(b, "fig3") }
+func BenchmarkFig04AverageBandwidth(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig05BestSettingRegions(b *testing.B) { benchExperiment(b, "fig5") }
+func BenchmarkFig06AlltoallBreakdown(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig07P2PBreakdown(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig08AlltoallScaling(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig09P2PScaling(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10StridedCuFFTSpike(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11GPUAwareEffect(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12LammpsRhodopsin(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13BatchedTransforms(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkAblationGridShrinking(b *testing.B)   { benchExperiment(b, "shrink") }
+func BenchmarkAblationDecompSweep(b *testing.B)     { benchExperiment(b, "decomp") }
+func BenchmarkModelValidation(b *testing.B)         { benchExperiment(b, "modelcheck") }
+func BenchmarkWarpXRedistribution(b *testing.B)     { benchExperiment(b, "warpx") }
+func BenchmarkFrontierProjection(b *testing.B)      { benchExperiment(b, "frontier") }
+func BenchmarkAsyncBatchingModes(b *testing.B)      { benchExperiment(b, "async") }
+func BenchmarkRealToComplex(b *testing.B)           { benchExperiment(b, "r2c") }

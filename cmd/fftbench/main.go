@@ -1,0 +1,55 @@
+// Command fftbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows/series the paper reports,
+// computed on the simulated Summit/Spock machines.
+//
+// Usage:
+//
+//	fftbench -list            # show all experiments
+//	fftbench -exp fig4        # reproduce Fig. 4 at paper scale
+//	fftbench -exp fig12 -quick
+//	fftbench -all -quick      # smoke-run everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (e.g. fig4, table3); see -list")
+		list  = flag.Bool("list", false, "list available experiments")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced sizes/sweeps (seconds instead of minutes)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			runOne(e.ID, *quick)
+		}
+	case *exp != "":
+		runOne(*exp, *quick)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, quick bool) {
+	t0 := time.Now()
+	if err := bench.Run(id, os.Stdout, bench.RunOptions{Quick: quick}); err != nil {
+		fmt.Fprintln(os.Stderr, "fftbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+}

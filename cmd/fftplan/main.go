@@ -1,0 +1,91 @@
+// Command fftplan inspects distributed-FFT plans and evaluates the
+// bandwidth model of Section III: given a transform size and a process
+// count it prints the predicted slab/pencil times (equations 2–3), the
+// recommended decomposition, and — with -phase — the full phase diagram the
+// paper uses to pick the best setting per machine.
+//
+// Usage:
+//
+//	fftplan -n 512 -ranks 768
+//	fftplan -phase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 512, "cube size N (transform is N³)")
+		ranks = flag.Int("ranks", 24, "number of MPI ranks (1 per GPU)")
+		phase = flag.Bool("phase", false, "print a size × ranks phase diagram")
+		bw    = flag.Float64("bw", 23.5e9, "model bandwidth B in bytes/s (paper: 23.5 GB/s)")
+		lat   = flag.Float64("lat", 1e-6, "model latency L in seconds (paper: 1 µs)")
+	)
+	flag.Parse()
+	params := model.Params{Latency: *lat, Bandwidth: *bw}
+
+	if *phase {
+		printPhase(params)
+		return
+	}
+
+	e := core.LookupTableIII(*ranks)
+	total := (*n) * (*n) * (*n)
+	ts := model.SlabTime(total, *ranks, params)
+	tp := model.PencilTime(total, e.P, e.Q, params)
+	m := machine.Summit()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "transform\t%d³ complex-to-complex (%d elements)\n", *n, total)
+	fmt.Fprintf(tw, "ranks\t%d (%d Summit nodes)\n", *ranks, m.Nodes(*ranks))
+	fmt.Fprintf(tw, "input/output bricks\t%v (Table III / min-surface)\n", e.InOut)
+	fmt.Fprintf(tw, "pencil grid\t%d × %d\n", e.P, e.Q)
+	fmt.Fprintf(tw, "T_slabs (eq. 2)\t%s\n", stats.FormatSeconds(ts))
+	fmt.Fprintf(tw, "T_pencils (eq. 3)\t%s\n", stats.FormatSeconds(tp))
+	rec := "pencils"
+	if model.PreferSlabs([3]int{*n, *n, *n}, e.P, e.Q, params) {
+		rec = "slabs"
+	}
+	fmt.Fprintf(tw, "recommended decomposition\t%s\n", rec)
+	tw.Flush()
+}
+
+func printPhase(params model.Params) {
+	sizes := []int{64, 128, 256, 512, 1024, 2048}
+	pis := []int{6, 12, 24, 48, 96, 192, 384, 768, 1536, 3072}
+	grid := func(pi int) (int, int) {
+		e := core.LookupTableIII(pi)
+		return e.P, e.Q
+	}
+	pts := model.PhaseDiagram(sizes, pis, grid, params)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "N\\ranks")
+	for _, pi := range pis {
+		fmt.Fprintf(tw, "\t%d", pi)
+	}
+	fmt.Fprintln(tw)
+	i := 0
+	for _, s := range sizes {
+		fmt.Fprintf(tw, "%d³", s)
+		for range pis {
+			cell := "pencils"
+			if pts[i].Slabs {
+				cell = "SLABS"
+			}
+			fmt.Fprintf(tw, "\t%s", cell)
+			i++
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println("\nSLABS = slab decomposition predicted fastest (eqs. 2-3, Section IV.A)")
+}

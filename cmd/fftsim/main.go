@@ -1,0 +1,154 @@
+// Command fftsim runs a single distributed FFT with explicit options on the
+// simulated machine and prints the timing breakdown — the building block of
+// every experiment, exposed for ad-hoc exploration.
+//
+// Usage:
+//
+//	fftsim -n 512 -ranks 24 -decomp pencils -backend alltoallv
+//	fftsim -n 512 -ranks 96 -backend p2p -no-gpu-aware -machine summit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 128, "cube size N (transform is N³)")
+		ranks      = flag.Int("ranks", 24, "number of MPI ranks (1 per GPU)")
+		decomp     = flag.String("decomp", "auto", "auto|slabs|pencils|bricks")
+		backend    = flag.String("backend", "alltoallv", "alltoall|alltoallv|alltoallw|p2p|p2p-blocking")
+		contiguous = flag.Bool("contiguous", false, "transpose data for contiguous local FFTs")
+		noAware    = flag.Bool("no-gpu-aware", false, "disable GPU-aware MPI (stage through host)")
+		mach       = flag.String("machine", "summit", "summit|spock")
+		shrink     = flag.Int("shrink", 0, "grid-shrinking threshold in elements/rank (0 = off)")
+		batch      = flag.Int("batch", 1, "transforms per batched call")
+		iters      = flag.Int("iters", 8, "timed transforms (half forward, half backward)")
+		traceOut   = flag.String("trace", "", "write the virtual timeline as Chrome trace-event JSON to this file")
+	)
+	flag.Parse()
+
+	opts, err := parseOptions(*decomp, *backend, *contiguous, *shrink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftsim:", err)
+		os.Exit(2)
+	}
+	mdl := machine.Summit()
+	if *mach == "spock" {
+		mdl = machine.Spock()
+	}
+
+	tr := trace.New()
+	w := mpisim.NewWorld(mdl, *ranks, mpisim.Options{GPUAware: !*noAware, Tracer: tr})
+	global := [3]int{*n, *n, *n}
+	var perFFT float64
+	var resolved core.Decomposition
+	var exchanges int
+	w.Run(func(c *mpisim.Comm) {
+		p, err := core.NewPlan(c, core.Config{Global: global, Opts: opts})
+		if err != nil {
+			panic(err)
+		}
+		exec := func(inv bool) {
+			fs := make([]*core.Field, *batch)
+			for i := range fs {
+				fs[i] = core.NewPhantom(p.InBox())
+			}
+			if inv {
+				err = p.InverseBatch(fs)
+			} else {
+				err = p.ForwardBatch(fs)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		exec(false)
+		exec(false) // warm-up
+		c.Barrier()
+		t0 := c.Clock()
+		for i := 0; i < *iters; i++ {
+			exec(i >= *iters/2)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			perFFT = (c.Clock() - t0) / float64(*iters)
+			resolved = p.Decomp()
+			exchanges = p.Exchanges()
+		}
+	})
+
+	fmt.Printf("machine=%s ranks=%d nodes=%d transform=%d³ decomp=%v backend=%v gpu-aware=%v batch=%d\n",
+		mdl.Name, *ranks, mdl.Nodes(*ranks), *n, resolved, opts.Backend, !*noAware, *batch)
+	fmt.Printf("exchanges per transform: %d\n", exchanges)
+	fmt.Printf("time per transform: %s  (%.1f GFLOP/s aggregate)\n",
+		stats.FormatSeconds(perFFT), stats.Gflops(stats.FFTFlops(*n**n**n)*float64(*batch), perFFT*float64(*batch)))
+
+	totals := tr.TotalByName(-1)
+	var names []string
+	for k := range totals {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return totals[names[i]] > totals[names[j]] })
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\ttotal (slowest rank)")
+	for _, k := range names {
+		fmt.Fprintf(tw, "%s\t%s\n", k, stats.FormatSeconds(totals[k]))
+	}
+	tw.Flush()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fftsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteChrome(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fftsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("virtual timeline written to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+}
+
+func parseOptions(decomp, backend string, contiguous bool, shrink int) (core.Options, error) {
+	o := core.Options{Contiguous: contiguous, ShrinkThreshold: shrink}
+	switch decomp {
+	case "auto":
+		o.Decomp = core.DecompAuto
+	case "slabs":
+		o.Decomp = core.DecompSlabs
+	case "pencils":
+		o.Decomp = core.DecompPencils
+	case "bricks":
+		o.Decomp = core.DecompBricks
+	default:
+		return o, fmt.Errorf("unknown decomposition %q", decomp)
+	}
+	switch backend {
+	case "alltoall":
+		o.Backend = core.BackendAlltoall
+	case "alltoallv":
+		o.Backend = core.BackendAlltoallv
+	case "alltoallw":
+		o.Backend = core.BackendAlltoallw
+	case "p2p":
+		o.Backend = core.BackendP2P
+	case "p2p-blocking":
+		o.Backend = core.BackendP2PBlocking
+	default:
+		return o, fmt.Errorf("unknown backend %q", backend)
+	}
+	return o, nil
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Performance Analysis of Parallel FFT on Large
+// Multi-GPU Systems" (A. Ayala, S. Tomov, M. Stoyanov, A. Haidar,
+// J. Dongarra — IPDPSW 2022) as a pure-Go system: a heFFTe-like distributed
+// 3-D FFT (package heffte / internal/core) running on a virtual-time MPI
+// simulator (internal/mpisim) over calibrated Summit/Spock hardware models
+// (internal/machine), with the paper's bandwidth model (internal/model),
+// tuning methodology (internal/tuning), application proxies (internal/apps)
+// and a benchmark harness regenerating every table and figure
+// (internal/bench, cmd/fftbench).
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package repro

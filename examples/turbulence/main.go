@@ -1,0 +1,62 @@
+// Turbulence example: evolve a Taylor–Green vortex with the pseudo-spectral
+// Navier–Stokes proxy. Every step runs several *batched* distributed FFTs —
+// the workload motivating the batched-transform feature of the paper
+// (Fig. 13) — and the example prints the kinetic-energy decay.
+//
+//	go run ./examples/turbulence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/heffte"
+	"repro/internal/apps/turb"
+	"repro/internal/core"
+)
+
+func main() {
+	const (
+		ranks = 6 // one simulated Summit node
+		steps = 10
+	)
+	w := heffte.NewWorld(heffte.Summit(), ranks, heffte.WorldOptions{GPUAware: true})
+	energies := make([]float64, 0, steps+1)
+	var makespan float64
+
+	w.Run(func(c *heffte.Comm) {
+		sim, err := turb.New(c, turb.Config{
+			Grid: [3]int{32, 32, 32},
+			Nu:   0.05,
+			Dt:   5e-3,
+			FFT:  core.Options{Decomp: core.DecompPencils, Backend: core.BackendAlltoallv},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		record := func() {
+			e := sim.Energy() // collective
+			if c.Rank() == 0 {
+				energies = append(energies, e)
+			}
+		}
+		record()
+		for i := 0; i < steps; i++ {
+			if err := sim.Step(); err != nil {
+				log.Fatal(err)
+			}
+			record()
+		}
+		div := sim.MaxDivergence()
+		if c.Rank() == 0 {
+			fmt.Printf("max spectral divergence after %d steps: %.2e (projection keeps it ~0)\n", steps, div)
+			makespan = c.Clock()
+		}
+	})
+
+	fmt.Println("kinetic energy decay of the Taylor–Green vortex (ν=0.05):")
+	for i, e := range energies {
+		fmt.Printf("  step %2d: E = %.6f\n", i, e)
+	}
+	fmt.Printf("virtual time for %d steps on %d GPUs: %.2f ms\n", steps, ranks, makespan*1e3)
+}

@@ -1,0 +1,66 @@
+package heffte_test
+
+import (
+	"fmt"
+
+	"repro/heffte"
+)
+
+// Example shows the minimal forward/inverse round trip of the README.
+func Example() {
+	w := heffte.NewWorld(heffte.Summit(), 6, heffte.WorldOptions{GPUAware: true})
+	ok := true
+	w.Run(func(c *heffte.Comm) {
+		plan, err := heffte.NewPlan(c, heffte.Config{Global: [3]int{8, 8, 8}})
+		if err != nil {
+			ok = false
+			return
+		}
+		f := heffte.NewField(plan.InBox())
+		f.FillRandom(1)
+		orig := append([]complex128(nil), f.Data...)
+		if plan.Forward(f) != nil || plan.Inverse(f) != nil {
+			ok = false
+			return
+		}
+		for i := range orig {
+			d := f.Data[i] - orig[i]
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+				ok = false
+				return
+			}
+		}
+	})
+	fmt.Println("round trip exact:", ok)
+	// Output: round trip exact: true
+}
+
+// ExampleNewRealPlan runs a distributed real-to-complex transform, whose
+// input reshapes move half the bytes of a complex plan.
+func ExampleNewRealPlan() {
+	w := heffte.NewWorld(heffte.Summit(), 4, heffte.WorldOptions{GPUAware: true})
+	var halfGrid [3]int
+	w.Run(func(c *heffte.Comm) {
+		plan, err := heffte.NewRealPlan(c, heffte.RealConfig{Global: [3]int{8, 8, 8}})
+		if err != nil {
+			return
+		}
+		rf := heffte.NewRealField(plan.InBox())
+		if _, err := plan.Forward(rf); err != nil {
+			return
+		}
+		if c.Rank() == 0 {
+			halfGrid = plan.HalfGlobal()
+		}
+	})
+	fmt.Println("half spectrum grid:", halfGrid)
+	// Output: half spectrum grid: [8 8 5]
+}
+
+// ExampleLookupTableIII shows the grid sequence of the paper's scalability
+// experiments.
+func ExampleLookupTableIII() {
+	e := heffte.LookupTableIII(768)
+	fmt.Printf("%d GPUs: bricks %v, pencils %d×%d\n", e.GPUs, e.InOut, e.P, e.Q)
+	// Output: 768 GPUs: bricks (8, 8, 12), pencils 24×32
+}

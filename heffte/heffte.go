@@ -1,0 +1,150 @@
+// Package heffte is the public facade of the distributed multi-GPU FFT
+// library reproduced from "Performance Analysis of Parallel FFT on Large
+// Multi-GPU Systems" (Ayala et al., IPDPSW 2022). It re-exports the plan API
+// of internal/core together with the simulated machine and MPI runtime the
+// library executes on.
+//
+// A minimal program:
+//
+//	m := heffte.Summit()
+//	w := heffte.NewWorld(m, 12, heffte.WorldOptions{GPUAware: true})
+//	w.Run(func(c *heffte.Comm) {
+//	    plan, _ := heffte.NewPlan(c, heffte.Config{Global: [3]int{64, 64, 64}})
+//	    f := heffte.NewField(plan.InBox())
+//	    f.FillRandom(1)
+//	    plan.Forward(f)   // f now holds this rank's share of the spectrum
+//	    plan.Inverse(f)   // back to the original signal
+//	})
+//
+// Every rank is a goroutine; data moves for real (numerics are exact) while
+// time advances on a virtual clock calibrated to Summit/Spock, so performance
+// experiments at paper scale (thousands of GPUs) run on a laptop.
+package heffte
+
+import (
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Core plan API.
+type (
+	// Plan is a collectively created distributed 3-D FFT plan (Algorithm 1).
+	Plan = core.Plan
+	// Config describes the transform: global extents, per-rank input/output
+	// boxes, and options.
+	Config = core.Config
+	// Options tunes decomposition, exchange backend, data layout, and grid
+	// shrinking.
+	Options = core.Options
+	// Field is one rank's share of the distributed array.
+	Field = core.Field
+	// Decomposition selects slabs, pencils or bricks (Fig. 1).
+	Decomposition = core.Decomposition
+	// Backend selects the MPI exchange flavour (Table I).
+	Backend = core.Backend
+	// GridEntry is one row of Table III.
+	GridEntry = core.GridEntry
+	// RealPlan is a distributed real-to-complex / complex-to-real plan; its
+	// input reshapes move 8-byte elements (half the complex bandwidth).
+	RealPlan = core.RealPlan
+	// RealConfig describes a real transform (real grid in, half grid out).
+	RealConfig = core.RealConfig
+	// RealField is one rank's share of a distributed real array.
+	RealField = core.RealField
+)
+
+// Decompositions.
+const (
+	DecompAuto    = core.DecompAuto
+	DecompSlabs   = core.DecompSlabs
+	DecompPencils = core.DecompPencils
+	DecompBricks  = core.DecompBricks
+)
+
+// Exchange backends.
+const (
+	BackendAlltoallv   = core.BackendAlltoallv
+	BackendAlltoall    = core.BackendAlltoall
+	BackendAlltoallw   = core.BackendAlltoallw
+	BackendP2P         = core.BackendP2P
+	BackendP2PBlocking = core.BackendP2PBlocking
+)
+
+// NewPlan collectively creates a plan; all ranks pass identical Config.
+func NewPlan(c *Comm, cfg Config) (*Plan, error) { return core.NewPlan(c, cfg) }
+
+// NewField allocates a zero field over a box; NewPhantom carries sizes only.
+func NewField(b Box3) *Field   { return core.NewField(b) }
+func NewPhantom(b Box3) *Field { return core.NewPhantom(b) }
+
+// NewRealPlan collectively creates a real-to-complex plan.
+func NewRealPlan(c *Comm, cfg RealConfig) (*RealPlan, error) { return core.NewRealPlan(c, cfg) }
+
+// NewRealField allocates a zero real field; NewRealPhantom carries sizes
+// only.
+func NewRealField(b Box3) *RealField   { return core.NewRealField(b) }
+func NewRealPhantom(b Box3) *RealField { return core.NewRealPhantom(b) }
+
+// DefaultBricks returns the minimum-surface brick decomposition applications
+// typically hand to the library.
+func DefaultBricks(nprocs int, global [3]int) []Box3 {
+	return core.DefaultBricks(nprocs, global)
+}
+
+// TableIII is the paper's grid sequence for the scalability experiments.
+var TableIII = core.TableIII
+
+// LookupTableIII returns the Table III entry for a GPU count (synthesized
+// for counts not in the table).
+func LookupTableIII(gpus int) GridEntry { return core.LookupTableIII(gpus) }
+
+// Index-space machinery.
+type (
+	// Box3 is a half-open box in global index space.
+	Box3 = tensor.Box3
+	// ProcGrid is a 3-D grid of processes.
+	ProcGrid = tensor.ProcGrid
+)
+
+// NewBox returns [lo0,hi0)×[lo1,hi1)×[lo2,hi2).
+func NewBox(lo0, lo1, lo2, hi0, hi1, hi2 int) Box3 {
+	return tensor.NewBox(lo0, lo1, lo2, hi0, hi1, hi2)
+}
+
+// Runtime: machines, worlds, communicators.
+type (
+	// Machine is the hardware model driving virtual time.
+	Machine = machine.Model
+	// World is one simulated job; Comm is a rank's communicator handle.
+	World = mpisim.World
+	// Comm is one rank's handle on a communicator.
+	Comm = mpisim.Comm
+	// WorldOptions configures GPU-awareness and tracing.
+	WorldOptions = mpisim.Options
+	// Tracer records per-call virtual-time events.
+	Tracer = trace.Tracer
+)
+
+// Reduce operations for Comm.Allreduce.
+const (
+	OpSum = mpisim.OpSum
+	OpMax = mpisim.OpMax
+	OpMin = mpisim.OpMin
+)
+
+// Summit returns the paper's 6×V100-per-node machine; Spock the 4×MI100 one;
+// Frontier a projection of the exascale system the conclusions anticipate.
+func Summit() *Machine   { return machine.Summit() }
+func Spock() *Machine    { return machine.Spock() }
+func Frontier() *Machine { return machine.Frontier() }
+
+// NewWorld creates a simulated job of the given size.
+func NewWorld(m *Machine, size int, opts WorldOptions) *World {
+	return mpisim.NewWorld(m, size, opts)
+}
+
+// NewTracer returns an empty event tracer to pass in WorldOptions.
+func NewTracer() *Tracer { return trace.New() }

@@ -1,0 +1,70 @@
+package heffte_test
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/heffte"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end, exactly as the
+// README quickstart does.
+func TestFacadeRoundTrip(t *testing.T) {
+	w := heffte.NewWorld(heffte.Summit(), 12, heffte.WorldOptions{GPUAware: true})
+	failures := make([]string, 12)
+	w.Run(func(c *heffte.Comm) {
+		plan, err := heffte.NewPlan(c, heffte.Config{
+			Global: [3]int{16, 16, 16},
+			Opts:   heffte.Options{Decomp: heffte.DecompAuto, Backend: heffte.BackendAlltoallv},
+		})
+		if err != nil {
+			failures[c.Rank()] = err.Error()
+			return
+		}
+		f := heffte.NewField(plan.InBox())
+		f.FillRandom(int64(c.Rank()))
+		orig := append([]complex128(nil), f.Data...)
+		if err := plan.Forward(f); err != nil {
+			failures[c.Rank()] = err.Error()
+			return
+		}
+		if err := plan.Inverse(f); err != nil {
+			failures[c.Rank()] = err.Error()
+			return
+		}
+		for i := range f.Data {
+			if cmplx.Abs(f.Data[i]-orig[i]) > 1e-9 {
+				failures[c.Rank()] = "round trip mismatch"
+				return
+			}
+		}
+	})
+	for r, msg := range failures {
+		if msg != "" {
+			t.Errorf("rank %d: %s", r, msg)
+		}
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	b := heffte.NewBox(0, 0, 0, 4, 5, 6)
+	if b.Volume() != 120 {
+		t.Errorf("box volume = %d", b.Volume())
+	}
+	if p := heffte.NewPhantom(b); !p.Phantom() {
+		t.Error("NewPhantom should carry no data")
+	}
+	bricks := heffte.DefaultBricks(6, [3]int{12, 12, 12})
+	if len(bricks) != 6 {
+		t.Errorf("got %d bricks", len(bricks))
+	}
+	if e := heffte.LookupTableIII(768); e.P != 24 || e.Q != 32 {
+		t.Errorf("Table III lookup = %+v", e)
+	}
+	if len(heffte.TableIII) != 10 {
+		t.Errorf("Table III has %d rows", len(heffte.TableIII))
+	}
+	if heffte.Summit().GPUsPerNode != 6 || heffte.Spock().GPUsPerNode != 4 {
+		t.Error("machine presets wrong")
+	}
+}

@@ -1,0 +1,117 @@
+package warpx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 2, mpisim.Options{})
+	w.Run(func(c *mpisim.Comm) {
+		if _, err := New(c, Config{Grid: [3]int{2, 8, 8}}); err == nil {
+			t.Error("expected error for tiny grid")
+		}
+	})
+}
+
+// TestEnergyConservedByVacuumStep: the PSATD rotation is exact, so total
+// electromagnetic energy must be conserved to rounding across steps.
+func TestEnergyConservedByVacuumStep(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
+	var e0, e1 float64
+	w.Run(func(c *mpisim.Comm) {
+		s, err := New(c, Config{Grid: [3]int{16, 16, 16}, Dt: 1e-2})
+		if err != nil {
+			panic(err)
+		}
+		a := s.Energy()
+		if err := s.Run(5); err != nil {
+			panic(err)
+		}
+		b := s.Energy()
+		if c.Rank() == 0 {
+			e0, e1 = a, b
+		}
+	})
+	if e0 <= 0 {
+		t.Fatalf("initial energy %g not positive", e0)
+	}
+	if rel := math.Abs(e1-e0) / e0; rel > 1e-9 {
+		t.Errorf("energy drifted by %.2e over 5 exact vacuum steps", rel)
+	}
+}
+
+// TestStandingWaveOscillates: after a half period T/2 = π/k the standing
+// wave's E field flips sign; energy still conserved. We check the field is
+// not static (the rotation does something) by comparing E energy share.
+func TestStandingWaveOscillates(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 1, mpisim.Options{GPUAware: true})
+	w.Run(func(c *mpisim.Comm) {
+		s, err := New(c, Config{Grid: [3]int{16, 16, 16}, Dt: 0.05})
+		if err != nil {
+			panic(err)
+		}
+		before := s.fields[1].Data[s.box.Index(1, 0, 0)] // Êy at k=(2π,0,0)
+		if err := s.Run(3); err != nil {
+			panic(err)
+		}
+		after := s.fields[1].Data[s.box.Index(1, 0, 0)]
+		if before == after {
+			t.Error("spectral field did not evolve")
+		}
+	})
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
+		var e float64
+		w.Run(func(c *mpisim.Comm) {
+			s, err := New(c, Config{Grid: [3]int{8, 8, 8}, Dt: 1e-2,
+				FFT: core.Options{Decomp: core.DecompPencils, Backend: core.BackendAlltoallw}})
+			if err != nil {
+				panic(err)
+			}
+			if err := s.Run(2); err != nil {
+				panic(err)
+			}
+			v := s.Energy()
+			if c.Rank() == 0 {
+				e = v
+			}
+		})
+		return e
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("evolution not deterministic: %g vs %g", a, b)
+	}
+}
+
+// TestAlltoallwSlowerThanTuned quantifies the paper's Section IV.D point:
+// WarpX's MPI_Alltoallw redistribution loses to a tuned backend on a
+// SpectrumMPI-like stack.
+func TestAlltoallwSlowerThanTuned(t *testing.T) {
+	run := func(b core.Backend) float64 {
+		w := mpisim.NewWorld(machine.Summit(), 24, mpisim.Options{GPUAware: true})
+		res := w.Run(func(c *mpisim.Comm) {
+			s, err := New(c, Config{Grid: [3]int{64, 64, 64}, Phantom: true,
+				FFT: core.Options{Decomp: core.DecompPencils, Backend: b}})
+			if err != nil {
+				panic(err)
+			}
+			if err := s.Run(3); err != nil {
+				panic(err)
+			}
+		})
+		return res.MaxClock
+	}
+	ww := run(core.BackendAlltoallw)
+	tuned := run(core.BackendAlltoallv)
+	if tuned >= ww {
+		t.Errorf("tuned backend %g should beat Alltoallw %g", tuned, ww)
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"shrink", "decomp", "modelcheck", "warpx", "frontier", "async", "r2c",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("nope", io.Discard, RunOptions{}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	es := All()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].ID > es[i].ID {
+			t.Errorf("All() not sorted: %s after %s", es[i].ID, es[i-1].ID)
+		}
+	}
+}
+
+// TestQuickSmoke runs every experiment in quick mode and checks it produces
+// output without errors — the end-to-end test of the harness.
+func TestQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick smoke still takes ~20s")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, RunOptions{Quick: true}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+// TestFig12ShowsKspaceReduction pins the headline application result: the
+// tuned heFFTe settings must cut KSPACE versus the fftMPI-like baseline.
+func TestFig12ShowsKspaceReduction(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig12", &buf, RunOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "KSPACE reduction") {
+		t.Fatalf("missing reduction line in output:\n%s", out)
+	}
+	// The reduction must be positive (formatted as "NN%").
+	if strings.Contains(out, "KSPACE reduction: -") {
+		t.Errorf("tuned settings slower than baseline:\n%s", out)
+	}
+}
+
+// TestFig13ShowsBatchSpeedup pins the batching result: >1.5× per-transform
+// speedup at 64³ even in quick mode.
+func TestFig13ShowsBatchSpeedup(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig13", &buf, RunOptions{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "speedup") {
+		t.Fatalf("missing speedup column:\n%s", out)
+	}
+}
+
+func TestTableIIIConfigMatchesEntry(t *testing.T) {
+	cfg := tableIIIConfig(24, [3]int{64, 64, 64}, core.Options{})
+	if cfg.Opts.PQ != [2]int{4, 6} {
+		t.Errorf("PQ = %v, want (4,6) from Table III", cfg.Opts.PQ)
+	}
+	if len(cfg.InBoxes) != 24 || len(cfg.OutBoxes) != 24 {
+		t.Error("box lists must have one entry per rank")
+	}
+}
+
+func TestNodeSweep(t *testing.T) {
+	full := nodeSweep(RunOptions{}, 128)
+	if full[0] != 1 || full[len(full)-1] != 128 {
+		t.Errorf("full sweep = %v", full)
+	}
+	quick := nodeSweep(RunOptions{Quick: true}, 128)
+	if quick[len(quick)-1] > 8 {
+		t.Errorf("quick sweep reaches %d nodes", quick[len(quick)-1])
+	}
+}
+
+func TestGridFor(t *testing.T) {
+	if g := gridFor(RunOptions{}); g != [3]int{512, 512, 512} {
+		t.Errorf("full grid = %v", g)
+	}
+	if g := gridFor(RunOptions{Quick: true}); g[0] >= 512 {
+		t.Errorf("quick grid = %v", g)
+	}
+}
+
+func TestSumHelper(t *testing.T) {
+	if sum([]float64{1, 2, 3.5}) != 6.5 {
+		t.Error("sum broken")
+	}
+	if sum(nil) != 0 {
+		t.Error("sum(nil) != 0")
+	}
+}
+
+// TestExperimentsDeterministic: an entire experiment must print identical
+// output across runs — the end-to-end statement of the simulator's
+// virtual-time determinism.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"fig6", "fig13", "r2c"} {
+		var a, b bytes.Buffer
+		if err := Run(id, &a, RunOptions{Quick: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Run(id, &b, RunOptions{Quick: true}); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s output differs between runs", id)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig2",
+		Title: "Per-call communication time: GPU-aware Alltoall/Alltoallv (SpectrumMPI) vs Alltoallw " +
+			"(MVAPICH), 3-D C2C 512³ on 24 V100 (40 MPI calls)",
+		Run: runFig2,
+	})
+	register(Experiment{
+		ID: "fig3",
+		Title: "Per-call communication time: blocking vs non-blocking Point-to-Point (SpectrumMPI), " +
+			"3-D C2C 512³ on 24 V100",
+		Run: runFig3,
+	})
+	register(Experiment{
+		ID: "fig10",
+		Title: "Per-call time of the batched 1-D cuFFT inside a 3-D FFT: contiguous input vs the " +
+			"strided-input spike",
+		Run: runFig10,
+	})
+}
+
+// perCallRun executes the Fig. 2/3 protocol — 2 warm-up + 4 forward + 4
+// backward transforms with brick I/O on 24 ranks — and returns the per-call
+// series (max over ranks) of the named MPI events, concatenated in call
+// order across names.
+func perCallRun(opts RunOptions, mdl *machine.Model, planOpts core.Options, names []string) (map[string][]float64, error) {
+	const ranks = 24
+	r := fftRun{
+		model: mdl, ranks: ranks, aware: true,
+		cfg:     tableIIIConfig(ranks, gridFor(opts), planOpts),
+		keepAll: true,
+	}
+	m, err := r.run()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]float64{}
+	for _, n := range names {
+		out[n] = m.Tracer.PerCall(n)
+	}
+	return out, nil
+}
+
+func runFig2(w io.Writer, opts RunOptions) error {
+	type variant struct {
+		label   string
+		mdl     *machine.Model
+		backend core.Backend
+		event   string
+	}
+	// The paper uses SpectrumMPI for Alltoall(v) and must switch to
+	// MVAPICH-GDR for Alltoallw because SpectrumMPI 10.4 provides no
+	// GPU-aware Alltoallw.
+	mvapich := machine.Summit()
+	mvapich.Name = "summit+mvapich-gdr"
+	mvapich.AlltoallwGPUAware = true
+	variants := []variant{
+		{"MPI_Alltoall (SpectrumMPI)", machine.Summit(), core.BackendAlltoall, "MPI_Alltoall"},
+		{"MPI_Alltoallv (SpectrumMPI)", machine.Summit(), core.BackendAlltoallv, "MPI_Alltoallv"},
+		{"MPI_Alltoallw (MVAPICH-GDR)", mvapich, core.BackendAlltoallw, "MPI_Alltoallw"},
+		{"MPI_Alltoallw (SpectrumMPI, staged)", machine.Summit(), core.BackendAlltoallw, "MPI_Alltoallw"},
+	}
+	series := make([][]float64, len(variants))
+	for i, v := range variants {
+		s, err := perCallRun(opts, v.mdl, core.Options{Decomp: core.DecompPencils, Backend: v.backend}, []string{v.event})
+		if err != nil {
+			return err
+		}
+		series[i] = s[v.event]
+	}
+	tw := newTable(w)
+	fmt.Fprint(tw, "call#")
+	for _, v := range variants {
+		fmt.Fprintf(tw, "\t%s", v.label)
+	}
+	fmt.Fprintln(tw)
+	for k := 0; k < len(series[0]); k++ {
+		fmt.Fprintf(tw, "%d", k+1)
+		for i := range variants {
+			val := 0.0
+			if k < len(series[i]) {
+				val = series[i][k]
+			}
+			fmt.Fprintf(tw, "\t%s", stats.FormatSeconds(val))
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "totals: alltoall %s, alltoallv %s, alltoallw(mvapich) %s, alltoallw(staged) %s\n",
+		stats.FormatSeconds(sum(series[0])), stats.FormatSeconds(sum(series[1])),
+		stats.FormatSeconds(sum(series[2])), stats.FormatSeconds(sum(series[3])))
+	fmt.Fprintln(w, "expected shape: alltoallw per call ≫ alltoall(v); alltoall ≈ alltoallv on the FFT-grid")
+	fmt.Fprintln(w, "exchanges, with the gap concentrated in the padded brick↔pencil reshape calls")
+	return nil
+}
+
+func runFig3(w io.Writer, opts RunOptions) error {
+	type variant struct {
+		label   string
+		backend core.Backend
+	}
+	variants := []variant{
+		{"non-blocking (MPI_Isend+MPI_Irecv)", core.BackendP2P},
+		{"blocking (MPI_Send+MPI_Irecv)", core.BackendP2PBlocking},
+	}
+	events := []string{"MPI_Isend", "MPI_Send", "MPI_Waitany", "MPI_Wait(send)"}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "variant\tevent\tcalls\tmean/call\tmax/call\ttotal")
+	totals := make([]float64, len(variants))
+	for i, v := range variants {
+		s, err := perCallRun(opts, machine.Summit(), core.Options{Decomp: core.DecompPencils, Backend: v.backend}, events)
+		if err != nil {
+			return err
+		}
+		for _, ev := range events {
+			calls := s[ev]
+			if len(calls) == 0 {
+				continue
+			}
+			totals[i] += sum(calls)
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n", v.label, ev, len(calls),
+				stats.FormatSeconds(stats.Mean(calls)), stats.FormatSeconds(stats.Max(calls)),
+				stats.FormatSeconds(sum(calls)))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	ratio := totals[1] / totals[0]
+	fmt.Fprintf(w, "blocking/non-blocking total ratio: %.2f (paper: \"not much difference\")\n", ratio)
+	return nil
+}
+
+func runFig10(w io.Writer, opts RunOptions) error {
+	grid := gridFor(opts)
+	run := func(contig bool) (map[string][]float64, error) {
+		return perCallRun(opts, machine.Summit(),
+			core.Options{Decomp: core.DecompPencils, Backend: core.BackendAlltoallv, Contiguous: contig},
+			[]string{"cufft_1d", "cufft_1d_strided"})
+	}
+	contig, err := run(true)
+	if err != nil {
+		return err
+	}
+	strided, err := run(false)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mode\tkernel\tcalls\tmean/call\tmax/call")
+	for _, row := range []struct {
+		mode string
+		s    map[string][]float64
+	}{{"contiguous (transposed)", contig}, {"strided", strided}} {
+		for _, k := range []string{"cufft_1d", "cufft_1d_strided"} {
+			if len(row.s[k]) == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n", row.mode, k, len(row.s[k]),
+				stats.FormatSeconds(stats.Mean(row.s[k])), stats.FormatSeconds(stats.Max(row.s[k])))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	spike := stats.Mean(strided["cufft_1d_strided"]) / stats.Mean(contig["cufft_1d"])
+	fmt.Fprintf(w, "strided spike: %.1f× the contiguous per-call time (batch of %d-point 1-D FFTs)\n", spike, grid[0])
+	return nil
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

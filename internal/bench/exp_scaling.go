@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig4",
+		Title: "Average bandwidth per process (eqs. 4–5) during a 512³ C2C FFT, 1–128 nodes, " +
+			"All-to-All and P2P, GPU-aware on/off",
+		Run: runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Best-setting regions for a 512³ C2C FFT: slabs vs pencils across node counts",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "All-to-All scaling with and without GPU-aware MPI: comm cost and total time",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Point-to-Point scaling with and without GPU-aware MPI: comm cost and total time",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "MPI_Alltoallv with vs without GPU-aware MPI at 16 nodes (~30% penalty)",
+		Run:   runFig11,
+	})
+}
+
+// scalingPoint measures one (nodes, backend, aware) cell of the strong-
+// scaling experiments on Summit with Table III grids.
+func scalingPoint(opts RunOptions, nodes int, backend core.Backend, aware bool) (measured, error) {
+	ranks := 6 * nodes
+	r := fftRun{
+		model: machine.Summit(), ranks: ranks, aware: aware,
+		cfg: tableIIIConfig(ranks, gridFor(opts), core.Options{Decomp: core.DecompPencils, Backend: backend}),
+	}
+	return r.run()
+}
+
+func runFig4(w io.Writer, opts RunOptions) error {
+	grid := gridFor(opts)
+	n := grid[0] * grid[1] * grid[2]
+	lat := machine.Summit().InterLatency
+	tw := newTable(w)
+	fmt.Fprintln(tw, "nodes\tGPUs\tB(a2a,aware)\tB(a2a,host)\tB(p2p,aware)\tB(p2p,host)")
+	cells := []struct {
+		name  string
+		b     core.Backend
+		aware bool
+	}{
+		{"a2a, GPU-aware", core.BackendAlltoallv, true},
+		{"a2a, host", core.BackendAlltoallv, false},
+		{"p2p, GPU-aware", core.BackendP2P, true},
+		{"p2p, host", core.BackendP2P, false},
+	}
+	var xs []float64
+	ys := make([][]float64, len(cells))
+	for _, nodes := range nodeSweep(opts, 128) {
+		ranks := 6 * nodes
+		e := core.LookupTableIII(ranks)
+		fmt.Fprintf(tw, "%d\t%d", nodes, ranks)
+		xs = append(xs, float64(nodes))
+		for ci, cell := range cells {
+			m, err := scalingPoint(opts, nodes, cell.b, cell.aware)
+			if err != nil {
+				return err
+			}
+			// Equation (5) expects the time of the two pencil exchanges of
+			// one FFT; the measured comm includes the brick I/O reshapes
+			// too, so scale by the pencil share (2 of Exchanges phases).
+			t := m.CommPerFFT * 2 / float64(m.Exchanges)
+			bw, err := model.PencilBandwidth(n, e.P, e.Q, t, lat)
+			if err != nil {
+				fmt.Fprintf(tw, "\t(%v)", err)
+				ys[ci] = append(ys[ci], 0)
+				continue
+			}
+			ys[ci] = append(ys[ci], bw)
+			fmt.Fprintf(tw, "\t%s", stats.FormatBandwidth(bw))
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	series := make([]plot.Series, len(cells))
+	for ci, cell := range cells {
+		series[ci] = plot.Series{Name: cell.name, X: xs, Y: ys[ci]}
+	}
+	fmt.Fprint(w, plot.Render(series, plot.Options{LogX: true, LogY: true,
+		XLabel: "nodes (log)", YLabel: "avg bandwidth per process (log)"}))
+	fmt.Fprintln(w, "expected shape: bandwidth per process decreases steeply with node count (network")
+	fmt.Fprintln(w, "saturation + latency-dominated small messages), GPU-aware above host-staged")
+	return nil
+}
+
+func runFig5(w io.Writer, opts RunOptions) error {
+	grid := gridFor(opts)
+	maxNodes := 512
+	if opts.Quick {
+		maxNodes = 8
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "nodes\tGPUs\tT(slabs)\tT(pencils)\tfastest")
+	params := model.Params{Latency: machine.Summit().InterLatency, Bandwidth: machine.Summit().NodeInjectionBW}
+	var xs, slabY, pencilY []float64
+	for _, nodes := range nodeSweep(opts, maxNodes) {
+		ranks := 6 * nodes
+		var times [2]float64
+		labels := [2]string{"slabs", "pencils"}
+		for i, d := range []core.Decomposition{core.DecompSlabs, core.DecompPencils} {
+			r := fftRun{
+				model: machine.Summit(), ranks: ranks, aware: true,
+				cfg: tableIIIConfig(ranks, grid, core.Options{Decomp: d, Backend: core.BackendAlltoallv}),
+			}
+			m, err := r.run()
+			if err != nil {
+				return err
+			}
+			times[i] = m.TotalPerFFT
+		}
+		best := labels[0]
+		if times[1] < times[0] {
+			best = labels[1]
+		}
+		// Annotate the model's own prediction for comparison.
+		e := core.LookupTableIII(ranks)
+		pred := "pencils"
+		if model.PreferSlabs(grid, e.P, e.Q, params) {
+			pred = "slabs"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%s (model: %s)\n", nodes, ranks,
+			stats.FormatSeconds(times[0]), stats.FormatSeconds(times[1]), best, pred)
+		xs = append(xs, float64(nodes))
+		slabY = append(slabY, times[0])
+		pencilY = append(pencilY, times[1])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprint(w, plot.Render([]plot.Series{
+		{Name: "slabs", X: xs, Y: slabY},
+		{Name: "pencils", X: xs, Y: pencilY},
+	}, plot.Options{LogX: true, LogY: true, XLabel: "nodes (log)", YLabel: "time per FFT (log)"}))
+	fmt.Fprintln(w, "expected shape: slabs fastest below 64 nodes, pencils from 64 nodes on (paper Fig. 5)")
+	return nil
+}
+
+func scalingTable(w io.Writer, opts RunOptions, backend core.Backend, maxNodes int) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "nodes\tGPUs\tcomm(aware)\tcomm(host)\ttotal(aware)\ttotal(host)")
+	var xs, awareY, hostY []float64
+	for _, nodes := range nodeSweep(opts, maxNodes) {
+		aware, err := scalingPoint(opts, nodes, backend, true)
+		if err != nil {
+			return err
+		}
+		host, err := scalingPoint(opts, nodes, backend, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\t%s\t%s\n", nodes, 6*nodes,
+			stats.FormatSeconds(aware.CommPerFFT), stats.FormatSeconds(host.CommPerFFT),
+			stats.FormatSeconds(aware.TotalPerFFT), stats.FormatSeconds(host.TotalPerFFT))
+		xs = append(xs, float64(nodes))
+		awareY = append(awareY, aware.TotalPerFFT)
+		hostY = append(hostY, host.TotalPerFFT)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprint(w, plot.Render([]plot.Series{
+		{Name: "total, GPU-aware", X: xs, Y: awareY},
+		{Name: "total, -no-gpu-aware", X: xs, Y: hostY},
+	}, plot.Options{LogX: true, LogY: true, XLabel: "nodes (log)", YLabel: "time per FFT (log)"}))
+	return nil
+}
+
+func runFig8(w io.Writer, opts RunOptions) error {
+	if err := scalingTable(w, opts, core.BackendAlltoallv, 128); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "expected shape: both curves scale; GPU-aware consistently below host-staged")
+	return nil
+}
+
+func runFig9(w io.Writer, opts RunOptions) error {
+	if err := scalingTable(w, opts, core.BackendP2P, 128); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "expected shape: GPU-aware P2P stops scaling at large node counts (per-message")
+	fmt.Fprintln(w, "RDMA overhead × thousands of peers), while the host-staged path keeps scaling")
+	return nil
+}
+
+func runFig11(w io.Writer, opts RunOptions) error {
+	nodes := 16
+	if opts.Quick {
+		nodes = 4
+	}
+	aware, err := scalingPoint(opts, nodes, core.BackendAlltoallv, true)
+	if err != nil {
+		return err
+	}
+	host, err := scalingPoint(opts, nodes, core.BackendAlltoallv, false)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "setting\tcomm/FFT\ttotal/FFT")
+	fmt.Fprintf(tw, "GPU-aware\t%s\t%s\n", stats.FormatSeconds(aware.CommPerFFT), stats.FormatSeconds(aware.TotalPerFFT))
+	fmt.Fprintf(tw, "-no-gpu-aware\t%s\t%s\n", stats.FormatSeconds(host.CommPerFFT), stats.FormatSeconds(host.TotalPerFFT))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "disabling GPU-awareness increases communication by %s (paper: ≈30%%)\n",
+		fmtPct(host.CommPerFFT/aware.CommPerFFT-1))
+	return nil
+}

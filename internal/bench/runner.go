@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// commEventNames are the trace names counted as MPI communication time.
+var commEventNames = map[string]bool{
+	"MPI_Alltoall": true, "MPI_Alltoallv": true, "MPI_Alltoallw": true,
+	"MPI_Send": true, "MPI_Isend": true, "MPI_Irecv": true,
+	"MPI_Recv": true, "MPI_Wait(send)": true, "MPI_Wait(recv)": true,
+	"MPI_Waitany": true,
+}
+
+// fftRun describes one measured FFT experiment following the paper's
+// protocol: 2 warm-up transforms, then the average of 4 forward and 4
+// backward transforms.
+type fftRun struct {
+	model  *machine.Model
+	ranks  int
+	aware  bool
+	global [3]int
+	cfg    core.Config
+	warmup int
+	fwd    int
+	bwd    int
+	batch  int // fields per transform call (1 = unbatched)
+	// keepAll retains warm-up events in the tracer (the per-call plots of
+	// Figs. 2/3 include all 40 calls, warm-ups included).
+	keepAll bool
+}
+
+// measured aggregates one run's virtual-time results.
+type measured struct {
+	// TotalPerFFT is the average wall (virtual) time of one transform.
+	TotalPerFFT float64
+	// CommPerFFT is the max-over-ranks MPI time divided by the transform
+	// count.
+	CommPerFFT float64
+	// Breakdown holds max-over-ranks per-kernel totals over the measured
+	// (non-warm-up) transforms.
+	Breakdown map[string]float64
+	// Tracer gives access to per-call series (includes warm-up calls, as in
+	// the paper's Figs. 2/3 which plot all 40 calls).
+	Tracer *trace.Tracer
+	// Exchanges is the number of communication phases in the plan.
+	Exchanges int
+	// Decomp is the plan's resolved decomposition.
+	Decomp core.Decomposition
+
+	// measureFrom is the virtual time the timed section began (events before
+	// it are warm-up and pruned from the totals).
+	measureFrom float64
+}
+
+// defaults fills the paper's measurement protocol.
+func (r *fftRun) defaults() {
+	if r.warmup == 0 {
+		r.warmup = 2
+	}
+	if r.fwd == 0 {
+		r.fwd = 4
+	}
+	if r.bwd == 0 {
+		r.bwd = 4
+	}
+	if r.batch == 0 {
+		r.batch = 1
+	}
+	if r.cfg.Global == [3]int{} {
+		r.cfg.Global = r.global
+	}
+}
+
+// run executes the experiment and gathers results. All payloads are phantom:
+// timing is identical to real payloads (a tested property) and paper-scale
+// grids need no memory.
+func (r fftRun) run() (m measured, err error) {
+	r.defaults()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("bench: run failed: %v", p)
+		}
+	}()
+	tr := trace.New()
+	w := mpisim.NewWorld(r.model, r.ranks, mpisim.Options{GPUAware: r.aware, Tracer: tr})
+	w.Run(func(c *mpisim.Comm) {
+		p, err := core.NewPlan(c, r.cfg)
+		if err != nil {
+			panic(err)
+		}
+		exec := func(inverse bool) error {
+			fields := make([]*core.Field, r.batch)
+			for i := range fields {
+				fields[i] = core.NewPhantom(p.InBox())
+			}
+			if inverse {
+				return p.InverseBatch(fields)
+			}
+			return p.ForwardBatch(fields)
+		}
+		for i := 0; i < r.warmup; i++ {
+			if err := exec(false); err != nil {
+				panic(err)
+			}
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			m.Exchanges = p.Exchanges()
+			m.Decomp = p.Decomp()
+			// The barrier synchronized all clocks; warm-up events are cut
+			// from the totals after the run by pruning everything that
+			// started before this virtual instant (deterministic, unlike a
+			// racy reset).
+			m.measureFrom = c.Clock()
+		}
+		t0 := c.Clock()
+		for i := 0; i < r.fwd; i++ {
+			if err := exec(false); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < r.bwd; i++ {
+			if err := exec(true); err != nil {
+				panic(err)
+			}
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			m.TotalPerFFT = (c.Clock() - t0) / float64(r.fwd+r.bwd)
+		}
+	})
+	m.Tracer = tr
+	if !r.keepAll {
+		tr.Prune(m.measureFrom)
+	}
+	m.Breakdown = tr.TotalByName(-1)
+	comm := 0.0
+	for name, v := range m.Breakdown {
+		if commEventNames[name] {
+			comm += v
+		}
+	}
+	m.CommPerFFT = comm / float64(r.fwd+r.bwd)
+	return m, nil
+}
+
+// tableIIIConfig builds the plan config of the strong-scaling experiments:
+// brick input/output per Table III, pencil FFT grids (P, Q).
+func tableIIIConfig(ranks int, global [3]int, opts core.Options) core.Config {
+	e := core.LookupTableIII(ranks)
+	if opts.PQ == [2]int{} {
+		opts.PQ = [2]int{e.P, e.Q}
+	}
+	return core.Config{
+		Global:   global,
+		InBoxes:  e.InOut.Decompose(global),
+		OutBoxes: e.InOut.Decompose(global),
+		Opts:     opts,
+	}
+}
+
+// gridFor picks the experiment grid size: the paper's 512³, or a reduced one
+// in quick mode.
+func gridFor(opts RunOptions) [3]int {
+	if opts.Quick {
+		return [3]int{64, 64, 64}
+	}
+	return [3]int{512, 512, 512}
+}
+
+// nodeSweep returns the strong-scaling node counts (6 GPUs per node).
+func nodeSweep(opts RunOptions, max int) []int {
+	all := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	var out []int
+	for _, n := range all {
+		if n > max {
+			break
+		}
+		if opts.Quick && n > 8 {
+			break
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func fmtPct(x float64) string { return fmt.Sprintf("%.0f%%", 100*x) }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fft"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// TestDistributed2DTransform: a 2-D transform is a 3-D plan with one unit
+// extent — the paper's "batched 2-D and 3-D transforms" feature.
+func TestDistributed2DTransform(t *testing.T) {
+	global := [3]int{16, 24, 1}
+	want := serialReference(global, 21, fft.Forward)
+	cfg := Config{Global: global, Opts: Options{Decomp: DecompPencils, Backend: BackendAlltoallv}}
+	got, _ := runDistributed(t, machine.Summit(), 6, global, cfg, 21, fft.Forward, true)
+	if diff := maxAbsDiff(got, want); diff > tol*float64(len(want)) {
+		t.Errorf("distributed 2-D transform differs by %g", diff)
+	}
+}
+
+// TestNonCubicOddSizes exercises Bluestein lengths and uneven chunking.
+func TestNonCubicOddSizes(t *testing.T) {
+	global := [3]int{7, 9, 5}
+	want := serialReference(global, 22, fft.Forward)
+	cfg := Config{Global: global, Opts: Options{Decomp: DecompPencils, Backend: BackendP2P}}
+	got, _ := runDistributed(t, machine.Summit(), 4, global, cfg, 22, fft.Forward, true)
+	if diff := maxAbsDiff(got, want); diff > tol*float64(len(want)) {
+		t.Errorf("odd-size transform differs by %g", diff)
+	}
+}
+
+// TestRandomConfigsProperty is a property-based end-to-end check: random
+// small grids, rank counts, decompositions and backends must all match the
+// serial transform.
+func TestRandomConfigsProperty(t *testing.T) {
+	decomps := []Decomposition{DecompSlabs, DecompPencils, DecompBricks}
+	backends := []Backend{BackendAlltoall, BackendAlltoallv, BackendAlltoallw, BackendP2P, BackendP2PBlocking}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		global := [3]int{rng.Intn(6) + 3, rng.Intn(6) + 3, rng.Intn(6) + 3}
+		size := rng.Intn(8) + 1
+		cfg := Config{Global: global, Opts: Options{
+			Decomp:     decomps[rng.Intn(len(decomps))],
+			Backend:    backends[rng.Intn(len(backends))],
+			Contiguous: rng.Intn(2) == 0,
+		}}
+		want := serialReference(global, seed, fft.Forward)
+		got, _ := runDistributed(t, machine.Summit(), size, global, cfg, seed, fft.Forward, true)
+		return maxAbsDiff(got, want) <= tol*float64(len(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpockMachineCorrectness: the MI100 machine model must not affect
+// numerics.
+func TestSpockMachineCorrectness(t *testing.T) {
+	global := [3]int{8, 8, 8}
+	want := serialReference(global, 23, fft.Forward)
+	cfg := Config{Global: global, Opts: Options{Decomp: DecompPencils, Backend: BackendAlltoallv}}
+	got, _ := runDistributed(t, machine.Spock(), 8, global, cfg, 23, fft.Forward, true)
+	if diff := maxAbsDiff(got, want); diff > tol*float64(len(want)) {
+		t.Errorf("Spock-machine transform differs by %g", diff)
+	}
+}
+
+// TestNoGPUAwareCorrectness: disabling GPU-aware MPI changes only timing.
+func TestNoGPUAwareCorrectness(t *testing.T) {
+	global := [3]int{8, 10, 6}
+	want := serialReference(global, 24, fft.Forward)
+	cfg := Config{Global: global, Opts: Options{Decomp: DecompPencils, Backend: BackendP2P}}
+	got, _ := runDistributed(t, machine.Summit(), 6, global, cfg, 24, fft.Forward, false)
+	if diff := maxAbsDiff(got, want); diff > tol*float64(len(want)) {
+		t.Errorf("non-GPU-aware transform differs by %g", diff)
+	}
+}
+
+// TestRepeatedExecutionsIndependent: running the same plan twice on fresh
+// data must give identical results (plans are reusable, as in heFFTe).
+func TestRepeatedExecutionsIndependent(t *testing.T) {
+	global := [3]int{8, 8, 8}
+	size := 6
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	ok := true
+	w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: global, Opts: Options{Decomp: DecompPencils}})
+		if err != nil {
+			panic(err)
+		}
+		run := func() []complex128 {
+			f := NewField(p.InBox())
+			f.FillRandom(int64(c.Rank()))
+			if err := p.Forward(f); err != nil {
+				panic(err)
+			}
+			return f.Data
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				ok = false
+				return
+			}
+		}
+	})
+	if !ok {
+		t.Error("repeated plan executions diverged")
+	}
+}
+
+// TestBatchAcrossMultipleExecutions: batched and sequential execution give
+// identical numerics.
+func TestBatchEqualsSequential(t *testing.T) {
+	global := [3]int{8, 8, 8}
+	size := 4
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	ok := true
+	w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: global, Opts: Options{Decomp: DecompPencils}})
+		if err != nil {
+			panic(err)
+		}
+		mk := func(seed int64) *Field {
+			f := NewField(p.InBox())
+			f.FillRandom(seed)
+			return f
+		}
+		batch := []*Field{mk(1), mk(2)}
+		if err := p.ForwardBatch(batch); err != nil {
+			panic(err)
+		}
+		for i, seed := range []int64{1, 2} {
+			f := mk(seed)
+			if err := p.Forward(f); err != nil {
+				panic(err)
+			}
+			for j := range f.Data {
+				if f.Data[j] != batch[i].Data[j] {
+					ok = false
+					return
+				}
+			}
+		}
+	})
+	if !ok {
+		t.Error("batched execution differs from sequential")
+	}
+}
+
+// TestShrinkToSingleRank: extreme shrinking collapses the transform onto one
+// rank; everything must still be exact.
+func TestShrinkToSingleRank(t *testing.T) {
+	global := [3]int{4, 4, 4}
+	want := serialReference(global, 31, fft.Forward)
+	cfg := Config{Global: global,
+		Opts: Options{Decomp: DecompPencils, Backend: BackendAlltoallv, ShrinkThreshold: 1 << 20}}
+	got, _ := runDistributed(t, machine.Summit(), 8, global, cfg, 31, fft.Forward, true)
+	if diff := maxAbsDiff(got, want); diff > tol*float64(len(want)) {
+		t.Errorf("single-rank-shrunk transform differs by %g", diff)
+	}
+}
+
+// TestUnevenBoxes: a deliberately unbalanced custom input distribution.
+func TestUnevenBoxes(t *testing.T) {
+	global := [3]int{9, 4, 4}
+	in := []tensor.Box3{
+		tensor.NewBox(0, 0, 0, 1, 4, 4), // tiny
+		tensor.NewBox(1, 0, 0, 8, 4, 4), // huge
+		tensor.NewBox(8, 0, 0, 9, 4, 4), // tiny
+	}
+	cfg := Config{Global: global, InBoxes: in,
+		Opts: Options{Decomp: DecompPencils, Backend: BackendAlltoallv, PQ: [2]int{1, 3}}}
+	want := serialReference(global, 33, fft.Forward)
+	got, _ := runDistributed(t, machine.Summit(), 3, global, cfg, 33, fft.Forward, true)
+	if diff := maxAbsDiff(got, want); diff > tol*float64(len(want)) {
+		t.Errorf("uneven-box transform differs by %g", diff)
+	}
+}
+
+// TestCommVolumes checks the per-phase accounting against the closed-form
+// expectation: a pencil reshape moves (G-1)/G of the local volume, keeping
+// 1/G as the self block (Section III's reasoning).
+func TestCommVolumes(t *testing.T) {
+	global := [3]int{16, 16, 16}
+	size := 4
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	var vols []ExchangeVolume
+	w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: global,
+			InBoxes:  PencilBoxes(global, 0, 2, 2),
+			OutBoxes: PencilBoxes(global, 2, 2, 2),
+			Opts:     Options{Decomp: DecompPencils, Backend: BackendAlltoallv, PQ: [2]int{2, 2}}})
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			vols = p.CommVolumes()
+		}
+	})
+	if len(vols) != 2 {
+		t.Fatalf("pencil-to-pencil plan has %d exchange phases, want 2", len(vols))
+	}
+	localBytes := 16 * global[0] * global[1] * global[2] / size
+	for _, v := range vols {
+		if v.GroupSize != 2 {
+			t.Errorf("%s: group size %d, want 2 (row/column groups)", v.Label, v.GroupSize)
+		}
+		if v.SendBytes+v.SelfBytes != localBytes {
+			t.Errorf("%s: send %d + self %d != local volume %d", v.Label, v.SendBytes, v.SelfBytes, localBytes)
+		}
+		if v.SendBytes != v.RecvBytes {
+			t.Errorf("%s: asymmetric volumes %d vs %d on a symmetric reshape", v.Label, v.SendBytes, v.RecvBytes)
+		}
+		if v.NumDst != 1 || v.MaxMsg != v.SendBytes {
+			t.Errorf("%s: NumDst=%d MaxMsg=%d", v.Label, v.NumDst, v.MaxMsg)
+		}
+	}
+}

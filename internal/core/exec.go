@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/trace"
+)
+
+// Forward computes the forward transform of one field (in place: the field's
+// box and data become the output distribution).
+func (p *Plan) Forward(f *Field) error { return p.execute([]*Field{f}, fft.Forward) }
+
+// Inverse computes the inverse transform (scaled by 1/N, so
+// Inverse(Forward(x)) == x).
+func (p *Plan) Inverse(f *Field) error { return p.execute([]*Field{f}, fft.Inverse) }
+
+// ForwardBatch transforms a batch of fields through one fused plan
+// execution: exchange messages carry all batch payloads (amortizing latency
+// and per-message overheads) and the local FFTs of later batch entries
+// overlap the network exchanges — the batched-transform feature of
+// Algorithm 1 evaluated in Fig. 13.
+func (p *Plan) ForwardBatch(fs []*Field) error { return p.execute(fs, fft.Forward) }
+
+// InverseBatch is the batched inverse transform.
+func (p *Plan) InverseBatch(fs []*Field) error { return p.execute(fs, fft.Inverse) }
+
+func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("core: empty batch")
+	}
+	phantom := fields[0].Phantom()
+	for _, f := range fields {
+		if err := f.validate(p.inBox); err != nil {
+			return err
+		}
+		if f.Phantom() != phantom {
+			return fmt.Errorf("core: batch mixes phantom and real fields")
+		}
+	}
+
+	// pending is local FFT work of batch entries beyond the first whose
+	// execution overlaps the next exchange: the pipeline charges the first
+	// entry's compute up front (its results must be packed before anything
+	// can be sent) and hides the rest behind communication.
+	pending := 0.0
+	for _, st := range p.stages {
+		switch st.kind {
+		case stageReshape:
+			t0 := p.comm.Clock()
+			st.rs.run(execCtx{dev: p.dev, opts: p.opts}, fields)
+			comm := p.comm.Clock() - t0
+			if pending > comm {
+				p.chargeOverlap(pending - comm)
+			}
+			pending = 0
+		case stageFFT1D, stageFFT2D:
+			per := p.fftStage(st, fields, dir)
+			pending += per * float64(len(fields)-1)
+		}
+	}
+	if pending > 0 {
+		p.chargeOverlap(pending)
+	}
+	for _, f := range fields {
+		if err := f.validate(p.outBox); err != nil {
+			return fmt.Errorf("core: after execution: %w", err)
+		}
+	}
+	return nil
+}
+
+// chargeOverlap accounts batched compute that did not fit under the
+// exchanges.
+func (p *Plan) chargeOverlap(dt float64) {
+	start := p.comm.Clock()
+	p.comm.Advance(dt)
+	p.comm.Tracer().Record(trace.Event{
+		Rank: p.comm.WorldRank(p.comm.Rank()), Name: "batched_fft",
+		Start: start, End: start + dt,
+	})
+}
+
+// fftStage computes the local transforms of every batch entry (numerically)
+// and charges the virtual cost of ONE entry, returning that per-entry cost
+// so execute can pipeline the remainder.
+func (p *Plan) fftStage(st stage, fields []*Field, dir fft.Direction) float64 {
+	box := st.myBox
+	if box.Empty() {
+		return 0
+	}
+	s := box.Sizes()
+	g := p.dev.Model()
+
+	if st.kind == stageFFT2D {
+		// Slab stage: batched 2-D transforms over axes (1, 2), contiguous.
+		if !fields[0].Phantom() {
+			for _, f := range fields {
+				for i0 := 0; i0 < s[0]; i0++ {
+					plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
+					fft.Transform2D(plane, s[1], s[2], dir)
+				}
+			}
+		}
+		p.dev.FFT2D(s[1], s[2], s[0], false)
+		return g.FFT2DCost(s[1], s[2], s[0], false)
+	}
+
+	axis := st.axis
+	n := s[axis]
+	if n != p.global[axis] {
+		panic(fmt.Sprintf("core: fft stage axis %d spans %d of %d", axis, n, p.global[axis]))
+	}
+	batch := box.Volume() / n
+	// Axis 2 is contiguous in the local layout; axes 0 and 1 are strided.
+	// In the "contiguous/transposed" mode the reshape already reordered data
+	// (charged as transposed pack/unpack), so the kernel runs contiguous;
+	// otherwise the strided kernel pays the Fig. 10 penalty.
+	strided := axis != 2 && !p.opts.Contiguous
+
+	if !fields[0].Phantom() {
+		plan := fft.NewPlan(n)
+		for _, f := range fields {
+			switch axis {
+			case 2:
+				plan.TransformBatch(f.Data, 1, s[2], s[0]*s[1], dir)
+			case 1:
+				for i0 := 0; i0 < s[0]; i0++ {
+					plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
+					plan.TransformBatch(plane, s[2], 1, s[2], dir)
+				}
+			case 0:
+				plan.TransformBatch(f.Data, s[1]*s[2], 1, s[1]*s[2], dir)
+			}
+		}
+	}
+	p.dev.FFT1D(n, batch, strided)
+	return g.FFT1DCost(n, batch, strided)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// GridEntry is one row of Table III: the brick-shaped input/output grid used
+// for a GPU count (obtained by minimum-surface splitting, the shape real
+// applications hand to the library) and the P×Q pencil grid of the FFT
+// stages.
+type GridEntry struct {
+	GPUs  int
+	InOut tensor.ProcGrid // blue grids of Table III (input and output bricks)
+	P, Q  int             // black pencil grids: (1,P,Q), (P,1,Q), (P,Q,1)
+}
+
+// TableIII is the paper's grid sequence for the strong-scalability
+// experiments on 1–512 Summit nodes (6 GPUs per node, 1 MPI rank per GPU).
+var TableIII = []GridEntry{
+	{GPUs: 6, InOut: tensor.NewProcGrid(1, 2, 3), P: 2, Q: 3},
+	{GPUs: 12, InOut: tensor.NewProcGrid(2, 2, 3), P: 3, Q: 4},
+	{GPUs: 24, InOut: tensor.NewProcGrid(2, 3, 4), P: 4, Q: 6},
+	{GPUs: 48, InOut: tensor.NewProcGrid(3, 4, 4), P: 6, Q: 8},
+	{GPUs: 96, InOut: tensor.NewProcGrid(4, 4, 6), P: 8, Q: 12},
+	{GPUs: 192, InOut: tensor.NewProcGrid(4, 6, 8), P: 12, Q: 16},
+	{GPUs: 384, InOut: tensor.NewProcGrid(6, 8, 8), P: 16, Q: 24},
+	{GPUs: 768, InOut: tensor.NewProcGrid(8, 8, 12), P: 24, Q: 32},
+	{GPUs: 1536, InOut: tensor.NewProcGrid(16, 8, 12), P: 32, Q: 48},
+	{GPUs: 3072, InOut: tensor.NewProcGrid(16, 12, 16), P: 48, Q: 64},
+}
+
+// LookupTableIII returns the Table III entry for a GPU count, or a synthetic
+// entry (minimum-surface bricks, most-square pencils) for counts not in the
+// table.
+func LookupTableIII(gpus int) GridEntry {
+	i := sort.Search(len(TableIII), func(i int) bool { return TableIII[i].GPUs >= gpus })
+	if i < len(TableIII) && TableIII[i].GPUs == gpus {
+		return TableIII[i]
+	}
+	p, q := tensor.Square2D(gpus)
+	return GridEntry{GPUs: gpus, InOut: tensor.MinSurfaceGrid(gpus, [3]int{512, 512, 512}), P: p, Q: q}
+}
+
+// DefaultBricks returns the minimum-surface brick decomposition of a global
+// grid over nprocs ranks — the shape applications such as LAMMPS produce.
+func DefaultBricks(nprocs int, global [3]int) []tensor.Box3 {
+	return tensor.MinSurfaceGrid(nprocs, global).Decompose(global)
+}
+
+// PencilBoxes returns the per-rank boxes for pencils along the given axis
+// with the grid P×Q over the remaining axes — useful for handing the library
+// pencil-shaped input/output directly (skipping the brick reshape).
+func PencilBoxes(global [3]int, axis, p, q int) []tensor.Box3 {
+	return tensor.PencilGrid(axis, p, q).Decompose(global)
+}
+
+// pencilBoxes is the internal spelling used by the plan builder.
+func pencilBoxes(global [3]int, axis, p, q int) []tensor.Box3 {
+	return PencilBoxes(global, axis, p, q)
+}
+
+// slabBoxes returns the per-rank boxes for slabs distributed along axis.
+func slabBoxes(global [3]int, axis, nprocs int) []tensor.Box3 {
+	return tensor.SlabGrid(axis, nprocs).Decompose(global)
+}
+
+// validateBoxes checks that boxes tile the global grid exactly: every point
+// covered exactly once.
+func validateBoxes(global [3]int, boxes []tensor.Box3) error {
+	vol := 0
+	for _, b := range boxes {
+		vol += b.Volume()
+		for d := 0; d < 3; d++ {
+			if b.Lo[d] < 0 || b.Hi[d] > global[d] {
+				return fmt.Errorf("core: box %v outside global grid %v", b, global)
+			}
+		}
+	}
+	want := global[0] * global[1] * global[2]
+	if vol != want {
+		return fmt.Errorf("core: boxes cover %d points, global grid has %d", vol, want)
+	}
+	// Pairwise disjointness (boxes are few; O(n²) is fine at plan time).
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if !tensor.Intersect(boxes[i], boxes[j]).Empty() {
+				return fmt.Errorf("core: boxes %d %v and %d %v overlap", i, boxes[i], j, boxes[j])
+			}
+		}
+	}
+	return nil
+}

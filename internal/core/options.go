@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: a distributed
+// 3-D FFT for multi-GPU systems (Algorithm 1 of the paper, the heFFTe
+// engine), covering slab, pencil and brick decompositions, four MPI exchange
+// strategies (MPI_Alltoall, MPI_Alltoallv, MPI_Alltoallw/Algorithm 2, and
+// blocking/non-blocking Point-to-Point), contiguous (transposed) and strided
+// local FFTs, FFT grid shrinking, and batched transforms with
+// communication/computation overlap.
+//
+// A Plan is created collectively by all ranks of a communicator and executed
+// with Forward/Inverse (or the batched variants). Payloads may be real
+// complex data — numerically validated against a serial FFT — or phantom
+// (size-only), which produces identical virtual timings without allocating
+// paper-scale arrays.
+package core
+
+import "fmt"
+
+// Decomposition selects the parallelization strategy of Fig. 1.
+type Decomposition int
+
+const (
+	// DecompAuto picks slabs or pencils using the bandwidth model of
+	// Section III (equations 2–3), as the paper's tuning methodology does.
+	DecompAuto Decomposition = iota
+	// DecompSlabs distributes one axis; each rank computes 2-D FFTs and one
+	// exchange moves the data (scales only to min(N) processes).
+	DecompSlabs
+	// DecompPencils distributes two axes over a P×Q grid; each rank computes
+	// 1-D FFTs with two internal exchanges.
+	DecompPencils
+	// DecompBricks keeps brick-shaped (3-D grid) input/output around a
+	// pencil pipeline, giving the four communication phases of Table III.
+	DecompBricks
+)
+
+func (d Decomposition) String() string {
+	switch d {
+	case DecompAuto:
+		return "auto"
+	case DecompSlabs:
+		return "slabs"
+	case DecompPencils:
+		return "pencils"
+	case DecompBricks:
+		return "bricks"
+	}
+	return fmt.Sprintf("decomposition(%d)", int(d))
+}
+
+// Backend selects the MPI exchange strategy of Table I.
+type Backend int
+
+const (
+	// BackendAlltoallv uses MPI_Alltoallv with exact block sizes (heFFTe's
+	// default and the paper's best option at scale).
+	BackendAlltoallv Backend = iota
+	// BackendAlltoall uses MPI_Alltoall, padding all blocks to the largest.
+	BackendAlltoall
+	// BackendAlltoallw is Algorithm 2: the generalized all-to-all over
+	// derived sub-array datatypes (no pack/unpack kernels, naive transport,
+	// not GPU-aware under SpectrumMPI).
+	BackendAlltoallw
+	// BackendP2P uses non-blocking MPI_Isend/MPI_Irecv with Waitany.
+	BackendP2P
+	// BackendP2PBlocking uses blocking MPI_Send with MPI_Irecv.
+	BackendP2PBlocking
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAlltoallv:
+		return "alltoallv"
+	case BackendAlltoall:
+		return "alltoall"
+	case BackendAlltoallw:
+		return "alltoallw"
+	case BackendP2P:
+		return "p2p"
+	case BackendP2PBlocking:
+		return "p2p-blocking"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Collective reports whether the backend is an All-to-All flavour.
+func (b Backend) Collective() bool {
+	return b == BackendAlltoall || b == BackendAlltoallv || b == BackendAlltoallw
+}
+
+// Options tunes a plan. The zero value is the paper's best general setting:
+// pencil/auto decomposition, Alltoallv, strided local FFTs.
+type Options struct {
+	Decomp  Decomposition
+	Backend Backend
+
+	// Contiguous selects the "transposed" local-FFT path: data is reordered
+	// on the device so every 1-D FFT sees unit stride, trading transpose
+	// kernels for the strided-input penalty of Fig. 10.
+	Contiguous bool
+
+	// PQ optionally fixes the pencil grid (P, Q); zero means the most square
+	// factorization. The grids of Table III are applied through this knob.
+	PQ [2]int
+
+	// ShrinkThreshold enables FFT grid shrinking (Algorithm 1, line 2): if
+	// the per-rank volume would fall below this many elements, the transform
+	// is computed on a subcommunicator of fewer ranks and remapped pre/post.
+	// Zero disables shrinking.
+	ShrinkThreshold int
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/mpisim"
+)
+
+// Pipelined execution: an alternative batched mode that posts each batch
+// entry's exchange as a non-blocking MPI_Ialltoallv and computes other
+// entries' local FFTs while the messages fly — the explicit
+// asynchronous-overlap technique of the turbulence/GPUDirect studies the
+// paper cites ([28], [34], [35]). It trades the message fusion of
+// ForwardBatch (fewer, bigger messages) for finer-grained overlap, and is
+// exposed so the two batching strategies can be compared (the `async`
+// ablation experiment).
+
+// ForwardPipelined transforms a batch with per-entry asynchronous exchanges.
+// Requires the Alltoallv backend (the only one with a non-blocking variant
+// here, mirroring MPI_Ialltoallv).
+func (p *Plan) ForwardPipelined(fields []*Field) error {
+	return p.executePipelined(fields, fft.Forward)
+}
+
+// InversePipelined is the inverse-direction pipelined batch.
+func (p *Plan) InversePipelined(fields []*Field) error {
+	return p.executePipelined(fields, fft.Inverse)
+}
+
+func (p *Plan) executePipelined(fields []*Field, dir fft.Direction) error {
+	if p.opts.Backend != BackendAlltoallv {
+		return fmt.Errorf("core: pipelined execution requires the alltoallv backend, have %v", p.opts.Backend)
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("core: empty batch")
+	}
+	phantom := fields[0].Phantom()
+	for _, f := range fields {
+		if err := f.validate(p.inBox); err != nil {
+			return err
+		}
+		if f.Phantom() != phantom {
+			return fmt.Errorf("core: batch mixes phantom and real fields")
+		}
+	}
+
+	pending := make([]*mpisim.CollRequest, len(fields))
+	var pendingRS *reshapePlan
+
+	drain := func(i int) {
+		if pending[i] == nil {
+			if pendingRS != nil {
+				// Uninvolved ranks still take the new (empty) box.
+				completeAsyncNone(pendingRS, fields[i])
+			}
+			return
+		}
+		pendingRS.completeAsync(p.ctxExec(), fields[i], pending[i])
+		pending[i] = nil
+	}
+
+	for _, st := range p.stages {
+		switch st.kind {
+		case stageReshape:
+			// Drain any leftovers from a previous reshape (two reshapes can
+			// be adjacent when a compute stage was skipped).
+			for i := range fields {
+				drain(i)
+			}
+			pendingRS = st.rs
+			for i, f := range fields {
+				pending[i] = st.rs.postAsync(p.ctxExec(), f)
+			}
+		case stageFFT1D, stageFFT2D:
+			for i := range fields {
+				drain(i)
+				// Compute this entry while later entries' exchanges fly.
+				p.fftStageSingle(st, fields[i], dir)
+			}
+			pendingRS = nil
+		}
+	}
+	for i := range fields {
+		drain(i)
+	}
+	for _, f := range fields {
+		if err := f.validate(p.outBox); err != nil {
+			return fmt.Errorf("core: after pipelined execution: %w", err)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) ctxExec() execCtx { return execCtx{dev: p.dev, opts: p.opts} }
+
+// fftStageSingle computes and charges one entry's local FFT (unlike
+// fftStage, which charges one entry and defers the rest analytically).
+func (p *Plan) fftStageSingle(st stage, f *Field, dir fft.Direction) {
+	box := st.myBox
+	if box.Empty() {
+		return
+	}
+	s := box.Sizes()
+	if st.kind == stageFFT2D {
+		if !f.Phantom() {
+			for i0 := 0; i0 < s[0]; i0++ {
+				plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
+				fft.Transform2D(plane, s[1], s[2], dir)
+			}
+		}
+		p.dev.FFT2D(s[1], s[2], s[0], false)
+		return
+	}
+	axis := st.axis
+	n := s[axis]
+	batch := box.Volume() / n
+	strided := axis != 2 && !p.opts.Contiguous
+	if !f.Phantom() {
+		plan := fft.NewPlan(n)
+		switch axis {
+		case 2:
+			plan.TransformBatch(f.Data, 1, s[2], s[0]*s[1], dir)
+		case 1:
+			for i0 := 0; i0 < s[0]; i0++ {
+				plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
+				plan.TransformBatch(plane, s[2], 1, s[2], dir)
+			}
+		case 0:
+			plan.TransformBatch(f.Data, s[1]*s[2], 1, s[1]*s[2], dir)
+		}
+	}
+	p.dev.FFT1D(n, batch, strided)
+}
+
+// postAsync packs one field and posts its exchange; returns nil when this
+// rank is not in the exchange group.
+func (rs *reshapePlan) postAsync(ctx execCtx, f *Field) *mpisim.CollRequest {
+	if !f.Box.Equal(rs.from) {
+		panic(fmt.Sprintf("core: reshape %s: field box %v != expected %v", rs.label, f.Box, rs.from))
+	}
+	if rs.group == nil {
+		return nil
+	}
+	bufs, sendBytes := packSendBufs(rs, [][]complex128{f.Data}, f.Phantom())
+	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
+	return rs.group.Ialltoallv(bufs)
+}
+
+// completeAsync waits for the exchange and unpacks into the new box.
+func (rs *reshapePlan) completeAsync(ctx execCtx, f *Field, req *mpisim.CollRequest) {
+	recv := rs.group.WaitColl(req)
+	var newData [][]complex128
+	if !f.Phantom() {
+		newData = [][]complex128{make([]complex128, rs.to.Volume())}
+	}
+	recvBytes := 0
+	for gi := range recv {
+		vol := rs.recvs[gi].Volume()
+		if vol == 0 {
+			continue
+		}
+		recvBytes += 16 * vol
+		if newData != nil {
+			unpackBufInto(rs, newData, gi, recv[gi])
+		}
+	}
+	ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
+	f.Box = rs.to
+	if newData != nil {
+		f.Data = newData[0]
+	}
+}
+
+// completeAsyncNone updates an uninvolved rank's field to the target box.
+func completeAsyncNone(rs *reshapePlan, f *Field) {
+	f.Box = rs.to
+	if !f.Phantom() {
+		f.Data = make([]complex128, rs.to.Volume())
+	}
+}

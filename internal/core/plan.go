@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// Config describes a distributed transform.
+type Config struct {
+	// Global is the extents of the 3-D grid (N0, N1, N2).
+	Global [3]int
+	// InBoxes and OutBoxes give the data distribution at input and output,
+	// one box per rank. Nil selects the minimum-surface brick decomposition,
+	// the shape real applications produce (Table III, blue grids).
+	InBoxes  []tensor.Box3
+	OutBoxes []tensor.Box3
+	Opts     Options
+}
+
+// Plan is one rank's handle on a collectively created distributed-FFT plan
+// (Algorithm 1). Safe to execute repeatedly; not safe for concurrent use by
+// the same rank.
+type Plan struct {
+	comm   *mpisim.Comm
+	dev    *gpu.Device
+	global [3]int
+	opts   Options
+	decomp Decomposition // resolved (never DecompAuto)
+
+	inBox, outBox tensor.Box3
+	stages        []stage
+
+	// lp is the number of active ranks after FFT grid shrinking
+	// (Algorithm 1, line 2); equals comm size when shrinking is off.
+	lp int
+	// p, q is the pencil grid actually used.
+	p, q int
+}
+
+type stageKind int
+
+const (
+	stageReshape stageKind = iota
+	stageFFT1D
+	stageFFT2D
+)
+
+type stage struct {
+	kind  stageKind
+	rs    *reshapePlan // stageReshape
+	axis  int          // stageFFT1D: transform axis
+	myBox tensor.Box3  // local box during a compute stage
+}
+
+// NewPlan collectively creates a plan. Every rank of c must call NewPlan with
+// identical Config (as with MPI plan creation in heFFTe).
+func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
+	size := c.Size()
+	for d := 0; d < 3; d++ {
+		if cfg.Global[d] < 1 {
+			return nil, fmt.Errorf("core: invalid global grid %v", cfg.Global)
+		}
+	}
+	inBoxes := cfg.InBoxes
+	if inBoxes == nil {
+		inBoxes = DefaultBricks(size, cfg.Global)
+	}
+	outBoxes := cfg.OutBoxes
+	if outBoxes == nil {
+		outBoxes = DefaultBricks(size, cfg.Global)
+	}
+	if len(inBoxes) != size || len(outBoxes) != size {
+		return nil, fmt.Errorf("core: got %d in / %d out boxes for %d ranks", len(inBoxes), len(outBoxes), size)
+	}
+	// Box validation is O(ranks²); memoize it per world so it runs once, not
+	// once per rank (pure function of the boxes, content-keyed).
+	validate := func(boxes []tensor.Box3) error {
+		key := fmt.Sprintf("core/validate/%v/%x", cfg.Global, hashBoxes(boxes))
+		v := c.World().Shared(key, func() any {
+			if err := validateBoxes(cfg.Global, boxes); err != nil {
+				return err
+			}
+			return nil
+		})
+		if v != nil {
+			return v.(error)
+		}
+		return nil
+	}
+	if err := validate(inBoxes); err != nil {
+		return nil, fmt.Errorf("input boxes: %w", err)
+	}
+	if err := validate(outBoxes); err != nil {
+		return nil, fmt.Errorf("output boxes: %w", err)
+	}
+
+	p := &Plan{
+		comm:   c,
+		dev:    gpu.New(c),
+		global: cfg.Global,
+		opts:   cfg.Opts,
+		inBox:  inBoxes[c.Rank()],
+		outBox: outBoxes[c.Rank()],
+		lp:     size,
+	}
+
+	// FFT grid shrinking: if the per-rank volume would be below the
+	// threshold, compute on fewer ranks and remap pre/post (Algorithm 1,
+	// line 2). "The smaller the number of processes controlling the
+	// computation" the better, once network communication is involved.
+	total := cfg.Global[0] * cfg.Global[1] * cfg.Global[2]
+	if t := cfg.Opts.ShrinkThreshold; t > 0 {
+		lp := (total + t - 1) / t
+		if lp < 1 {
+			lp = 1
+		}
+		if lp < size {
+			p.lp = lp
+		}
+	}
+
+	// Resolve the pencil grid over the active ranks.
+	p.p, p.q = cfg.Opts.PQ[0], cfg.Opts.PQ[1]
+	if p.p <= 0 || p.q <= 0 {
+		p.p, p.q = tensor.Square2D(p.lp)
+	} else if p.p*p.q != p.lp {
+		return nil, fmt.Errorf("core: pencil grid %dx%d does not match %d active ranks", p.p, p.q, p.lp)
+	}
+
+	// Resolve the decomposition.
+	p.decomp = cfg.Opts.Decomp
+	if p.decomp == DecompAuto {
+		params := model.Params{Latency: c.Model().InterLatency, Bandwidth: c.Model().NodeInjectionBW}
+		if model.PreferSlabs(cfg.Global, p.p, p.q, params) {
+			p.decomp = DecompSlabs
+		} else {
+			p.decomp = DecompPencils
+		}
+	}
+	if err := p.buildStages(inBoxes, outBoxes); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// buildStages constructs the reshape/compute pipeline. All ranks execute the
+// same deterministic sequence, so the collective Split calls inside reshape
+// construction stay matched.
+func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
+	size := p.comm.Size()
+	pad := func(boxes []tensor.Box3) []tensor.Box3 {
+		// Distributions over lp active ranks padded with empty boxes.
+		if len(boxes) == size {
+			return boxes
+		}
+		out := make([]tensor.Box3, size)
+		copy(out, boxes)
+		return out
+	}
+	cur := inBoxes
+	tagSeq := 0
+
+	addReshape := func(target []tensor.Box3, label string) {
+		tagSeq++
+		if boxesEqual(cur, target) {
+			return
+		}
+		rs := buildReshape(p.comm, cur, target, label, tagSeq)
+		p.stages = append(p.stages, stage{kind: stageReshape, rs: rs})
+		cur = target
+	}
+	addFFT1D := func(axis int) {
+		p.stages = append(p.stages, stage{kind: stageFFT1D, axis: axis, myBox: cur[p.comm.Rank()]})
+	}
+
+	switch p.decomp {
+	case DecompPencils:
+		addReshape(pad(pencilBoxes(p.global, 0, p.p, p.q)), "pencil-x")
+		addFFT1D(0)
+		addReshape(pad(pencilBoxes(p.global, 1, p.p, p.q)), "pencil-y")
+		addFFT1D(1)
+		addReshape(pad(pencilBoxes(p.global, 2, p.p, p.q)), "pencil-z")
+		addFFT1D(2)
+		addReshape(outBoxes, "output")
+
+	case DecompBricks:
+		// The brick variant (fftMPI/SWFFT style): intermediate grids are
+		// derived from the 3-D brick grid (a, b, c), so each of the four
+		// phases exchanges within smaller groups that share a coordinate of
+		// the brick grid — cheaper phases at the price of more of them.
+		a, b, c2 := p.brickGrid()
+		addReshape(pad(tensor.NewProcGrid(1, a*b, c2).Decompose(p.global)), "brick-x")
+		addFFT1D(0)
+		addReshape(pad(tensor.NewProcGrid(a, 1, b*c2).Decompose(p.global)), "brick-y")
+		addFFT1D(1)
+		addReshape(pad(tensor.NewProcGrid(a*b, c2, 1).Decompose(p.global)), "brick-z")
+		addFFT1D(2)
+		addReshape(outBoxes, "output")
+
+	case DecompSlabs:
+		// Slabs along axis 0: local 2-D FFTs over axes (1,2), one exchange
+		// to slabs along axis 1, then 1-D FFTs along axis 0.
+		addReshape(pad(slabBoxes(p.global, 0, p.lp)), "slab-0")
+		p.stages = append(p.stages, stage{kind: stageFFT2D, myBox: cur[p.comm.Rank()]})
+		addReshape(pad(slabBoxes(p.global, 1, p.lp)), "slab-1")
+		addFFT1D(0)
+		addReshape(outBoxes, "output")
+
+	default:
+		return fmt.Errorf("core: unresolved decomposition %v", p.decomp)
+	}
+	return nil
+}
+
+func boxesEqual(a, b []tensor.Box3) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// brickGrid returns the 3-D brick grid (a, b, c) over the active ranks used
+// to derive the intermediate grids of the brick decomposition.
+func (p *Plan) brickGrid() (a, b, c int) {
+	g := tensor.MinSurfaceGrid(p.lp, p.global)
+	return g.Dims[0], g.Dims[1], g.Dims[2]
+}
+
+// Decomp returns the resolved decomposition (never auto).
+func (p *Plan) Decomp() Decomposition { return p.decomp }
+
+// PencilGrid returns the P×Q grid used by the pencil stages.
+func (p *Plan) PencilGrid() (pg, qg int) { return p.p, p.q }
+
+// ActiveRanks returns the number of ranks computing the transform after grid
+// shrinking (equals the communicator size when shrinking is off).
+func (p *Plan) ActiveRanks() int { return p.lp }
+
+// InBox and OutBox return this rank's input and output boxes.
+func (p *Plan) InBox() tensor.Box3  { return p.inBox }
+func (p *Plan) OutBox() tensor.Box3 { return p.outBox }
+
+// Exchanges returns the number of communication phases in the pipeline.
+func (p *Plan) Exchanges() int {
+	n := 0
+	for _, st := range p.stages {
+		if st.kind == stageReshape {
+			n++
+		}
+	}
+	return n
+}
+
+// ExchangeVolume describes one communication phase of the plan from this
+// rank's perspective — the quantities the bandwidth model of Section III
+// reasons about.
+type ExchangeVolume struct {
+	Label     string
+	GroupSize int // ranks in this phase's exchange group (0 = not involved)
+	SendBytes int // bytes this rank sends (excluding its self block)
+	RecvBytes int // bytes this rank receives
+	SelfBytes int // local share that never touches the network
+	MaxMsg    int // largest single message
+	NumDst    int // destinations with non-empty payloads
+}
+
+// CommVolumes reports the per-phase communication volumes of one transform.
+func (p *Plan) CommVolumes() []ExchangeVolume {
+	var out []ExchangeVolume
+	for _, st := range p.stages {
+		if st.kind != stageReshape {
+			continue
+		}
+		rs := st.rs
+		v := ExchangeVolume{Label: rs.label}
+		if rs.group == nil {
+			out = append(out, v)
+			continue
+		}
+		v.GroupSize = rs.group.Size()
+		me := rs.myGroupRank
+		for gi := range rs.members {
+			sb := 16 * rs.sends[gi].Volume()
+			rb := 16 * rs.recvs[gi].Volume()
+			if gi == me {
+				v.SelfBytes += sb
+				continue
+			}
+			if sb > 0 {
+				v.SendBytes += sb
+				v.NumDst++
+				if sb > v.MaxMsg {
+					v.MaxMsg = sb
+				}
+			}
+			v.RecvBytes += rb
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Global returns the transform extents.
+func (p *Plan) Global() [3]int { return p.global }

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// RealField is one rank's share of a distributed real-valued 3-D array — the
+// input of real-to-complex transforms. Real elements are 8 bytes, so the
+// input reshapes of an R2C plan move half the bytes of a complex transform;
+// this is why the paper's comparisons (AccFFT's "large real-to-complex
+// transforms", LAMMPS' charge grids) care about native R2C support.
+type RealField struct {
+	Box  tensor.Box3
+	Data []float64 // nil for phantom fields
+}
+
+// NewRealField allocates a zero real field covering the box.
+func NewRealField(b tensor.Box3) *RealField {
+	return &RealField{Box: b, Data: make([]float64, b.Volume())}
+}
+
+// NewRealPhantom returns a size-only real field.
+func NewRealPhantom(b tensor.Box3) *RealField {
+	return &RealField{Box: b}
+}
+
+// Phantom reports whether the field carries no data.
+func (f *RealField) Phantom() bool { return f.Data == nil }
+
+// RealConfig describes a distributed real-to-complex transform.
+type RealConfig struct {
+	// Global is the real grid extents (N0, N1, N2); N2 must be even.
+	Global [3]int
+	// InBoxes distribute the real grid; OutBoxes distribute the Hermitian
+	// half grid (N0, N1, N2/2+1). Nil selects minimum-surface bricks.
+	InBoxes  []tensor.Box3
+	OutBoxes []tensor.Box3
+	Opts     Options
+}
+
+// RealPlan is a collectively created distributed R2C/C2R plan. The pipeline
+// reshapes the real input to z-pencils (at 8 bytes/element), runs the local
+// real-to-complex transform along axis 2, and continues with the complex
+// pencil pipeline on the half grid.
+type RealPlan struct {
+	comm *mpisim.Comm
+	dev  *gpu.Device
+	opts Options
+
+	global [3]int // real grid
+	half   [3]int // Hermitian half grid
+
+	inBox  tensor.Box3 // real grid
+	outBox tensor.Box3 // half grid
+
+	inReshape *reshapePlan // real bricks → real z-pencils (reversed for C2R output)
+
+	zBoxReal tensor.Box3 // my real z-pencil box
+	zBoxHalf tensor.Box3 // my half-grid z-pencil box
+
+	// Complex stages from half-grid z-pencils to OutBoxes (forward order).
+	stages []stage
+
+	p, q int
+}
+
+// NewRealPlan collectively creates an R2C plan; all ranks pass identical
+// RealConfig.
+func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
+	size := c.Size()
+	for d := 0; d < 3; d++ {
+		if cfg.Global[d] < 1 {
+			return nil, fmt.Errorf("core: invalid global grid %v", cfg.Global)
+		}
+	}
+	if cfg.Global[2]%2 != 0 {
+		return nil, fmt.Errorf("core: R2C needs an even N2, got %d", cfg.Global[2])
+	}
+	half := [3]int{cfg.Global[0], cfg.Global[1], cfg.Global[2]/2 + 1}
+
+	inBoxes := cfg.InBoxes
+	if inBoxes == nil {
+		inBoxes = DefaultBricks(size, cfg.Global)
+	}
+	outBoxes := cfg.OutBoxes
+	if outBoxes == nil {
+		outBoxes = DefaultBricks(size, half)
+	}
+	if len(inBoxes) != size || len(outBoxes) != size {
+		return nil, fmt.Errorf("core: got %d in / %d out boxes for %d ranks", len(inBoxes), len(outBoxes), size)
+	}
+	if err := validateBoxes(cfg.Global, inBoxes); err != nil {
+		return nil, fmt.Errorf("input boxes: %w", err)
+	}
+	if err := validateBoxes(half, outBoxes); err != nil {
+		return nil, fmt.Errorf("output boxes: %w", err)
+	}
+
+	p := &RealPlan{
+		comm:   c,
+		dev:    gpu.New(c),
+		opts:   cfg.Opts,
+		global: cfg.Global,
+		half:   half,
+		inBox:  inBoxes[c.Rank()],
+		outBox: outBoxes[c.Rank()],
+	}
+	p.p, p.q = cfg.Opts.PQ[0], cfg.Opts.PQ[1]
+	if p.p <= 0 || p.q <= 0 {
+		p.p, p.q = tensor.Square2D(size)
+	} else if p.p*p.q != size {
+		return nil, fmt.Errorf("core: pencil grid %dx%d does not match %d ranks", p.p, p.q, size)
+	}
+
+	// Real z-pencils and their half-grid shadows share the P×Q grid, so the
+	// r2c stage is purely local.
+	zReal := pencilBoxes(cfg.Global, 2, p.p, p.q)
+	zHalf := pencilBoxes(half, 2, p.p, p.q)
+	p.zBoxReal = zReal[c.Rank()]
+	p.zBoxHalf = zHalf[c.Rank()]
+
+	// Reshape tags must not collide with the complex-stage tags below;
+	// buildStagesReal allocates from 900 upward.
+	p.inReshape = buildReshape(c, inBoxes, zReal, "r2c-input", 901)
+
+	// Complex pipeline on the half grid: z-pencils → y FFT → x FFT → out.
+	cur := zHalf
+	tag := 910
+	addReshape := func(target []tensor.Box3, label string) {
+		tag++
+		if boxesEqual(cur, target) {
+			return
+		}
+		p.stages = append(p.stages, stage{kind: stageReshape, rs: buildReshape(c, cur, target, label, tag)})
+		cur = target
+	}
+	addFFT := func(axis int) {
+		p.stages = append(p.stages, stage{kind: stageFFT1D, axis: axis, myBox: cur[c.Rank()]})
+	}
+	addReshape(pencilBoxes(half, 1, p.p, p.q), "r2c-pencil-y")
+	addFFT(1)
+	addReshape(pencilBoxes(half, 0, p.p, p.q), "r2c-pencil-x")
+	addFFT(0)
+	addReshape(outBoxes, "r2c-output")
+	return p, nil
+}
+
+// InBox returns this rank's real-grid input box; OutBox the half-grid output
+// box.
+func (p *RealPlan) InBox() tensor.Box3  { return p.inBox }
+func (p *RealPlan) OutBox() tensor.Box3 { return p.outBox }
+
+// HalfGlobal returns the Hermitian half-grid extents (N0, N1, N2/2+1).
+func (p *RealPlan) HalfGlobal() [3]int { return p.half }
+
+// ctx returns the reshape execution context.
+func (p *RealPlan) ctx() execCtx { return execCtx{dev: p.dev, opts: p.opts} }
+
+// Forward transforms a real field into its half-spectrum, returned as a
+// complex field distributed over OutBoxes.
+func (p *RealPlan) Forward(rf *RealField) (*Field, error) {
+	fs, err := p.ForwardBatch([]*RealField{rf})
+	if err != nil {
+		return nil, err
+	}
+	return fs[0], nil
+}
+
+// ForwardBatch transforms a batch of real fields through fused exchanges,
+// like Plan.ForwardBatch (the Fig. 13 batching feature, here for R2C).
+func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
+	if len(rfs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	phantom := rfs[0].Phantom()
+	for _, rf := range rfs {
+		if !rf.Box.Equal(p.inBox) {
+			return nil, fmt.Errorf("core: real field box %v != plan input box %v", rf.Box, p.inBox)
+		}
+		if !rf.Phantom() && len(rf.Data) != rf.Box.Volume() {
+			return nil, fmt.Errorf("core: real field length %d != box volume %d", len(rf.Data), rf.Box.Volume())
+		}
+		if rf.Phantom() != phantom {
+			return nil, fmt.Errorf("core: batch mixes phantom and real fields")
+		}
+	}
+
+	// Move the real data to z-pencils (half the bytes of a complex reshape).
+	p.inReshape.runReal(p.ctx(), rfs)
+
+	// Local r2c along axis 2, then the complex pipeline with fused
+	// exchanges.
+	fields := make([]*Field, len(rfs))
+	for i, rf := range rfs {
+		fields[i] = p.r2cLocal(rf)
+	}
+	dir := fft.Forward
+	for _, st := range p.stages {
+		switch st.kind {
+		case stageReshape:
+			st.rs.run(p.ctx(), fields)
+		case stageFFT1D:
+			for _, f := range fields {
+				p.fft1D(st, f, dir)
+			}
+		}
+	}
+	for _, f := range fields {
+		if !f.Box.Equal(p.outBox) {
+			return nil, fmt.Errorf("core: R2C ended on box %v, want %v", f.Box, p.outBox)
+		}
+	}
+	return fields, nil
+}
+
+// Inverse transforms a half-spectrum field (distributed over OutBoxes) back
+// to a real field over InBoxes, scaled so Inverse(Forward(x)) == x.
+func (p *RealPlan) Inverse(f *Field) (*RealField, error) {
+	rfs, err := p.InverseBatch([]*Field{f})
+	if err != nil {
+		return nil, err
+	}
+	return rfs[0], nil
+}
+
+// InverseBatch is the batched complex-to-real transform.
+func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	for _, f := range fields {
+		if !f.Box.Equal(p.outBox) {
+			return nil, fmt.Errorf("core: field box %v != plan output box %v", f.Box, p.outBox)
+		}
+	}
+	dir := fft.Inverse
+	// Walk the complex pipeline backwards.
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		st := p.stages[i]
+		switch st.kind {
+		case stageReshape:
+			rev := p.reverseReshape(st.rs)
+			rev.run(p.ctx(), fields)
+		case stageFFT1D:
+			for _, f := range fields {
+				p.fft1D(st, f, dir)
+			}
+		}
+	}
+	rfs := make([]*RealField, len(fields))
+	for i, f := range fields {
+		if !f.Box.Equal(p.zBoxHalf) {
+			return nil, fmt.Errorf("core: C2R reached box %v, want z-pencils %v", f.Box, p.zBoxHalf)
+		}
+		rfs[i] = p.c2rLocal(f)
+	}
+	rev := p.reverseReshape(p.inReshape)
+	rev.runReal(p.ctx(), rfs)
+	return rfs, nil
+}
+
+// reverseReshape returns the reshape with source and destination swapped.
+// Group structure and member lists are identical; only the box roles flip.
+func (p *RealPlan) reverseReshape(rs *reshapePlan) *reshapePlan {
+	rev := &reshapePlan{
+		label: rs.label + "-rev", tag: rs.tag + 50,
+		from: rs.to, to: rs.from,
+		group: rs.group, members: rs.members, myGroupRank: rs.myGroupRank,
+	}
+	if rs.group != nil {
+		n := len(rs.members)
+		rev.sends = make([]tensor.Box3, n)
+		rev.recvs = make([]tensor.Box3, n)
+		for i := range rs.members {
+			rev.sends[i] = rs.recvs[i]
+			rev.recvs[i] = rs.sends[i]
+		}
+	}
+	return rev
+}
+
+// r2cLocal converts a real z-pencil field to its complex half-spectrum.
+func (p *RealPlan) r2cLocal(rf *RealField) *Field {
+	box := p.zBoxReal
+	out := &Field{Box: p.zBoxHalf}
+	n2 := p.global[2]
+	h := p.half[2]
+	rows := box.Size(0) * box.Size(1)
+	p.dev.FFTR2C(n2, rows)
+	if rf.Phantom() {
+		return out
+	}
+	plan, err := fft.NewRealPlan(n2)
+	if err != nil {
+		panic(err) // validated even at plan creation
+	}
+	out.Data = make([]complex128, p.zBoxHalf.Volume())
+	for r := 0; r < rows; r++ {
+		spec, err := plan.Forward(rf.Data[r*n2 : (r+1)*n2])
+		if err != nil {
+			panic(err)
+		}
+		copy(out.Data[r*h:(r+1)*h], spec)
+	}
+	return out
+}
+
+// c2rLocal converts a half-spectrum z-pencil field back to real values.
+func (p *RealPlan) c2rLocal(f *Field) *RealField {
+	n2 := p.global[2]
+	h := p.half[2]
+	rows := p.zBoxHalf.Size(0) * p.zBoxHalf.Size(1)
+	p.dev.FFTR2C(n2, rows)
+	rf := &RealField{Box: p.zBoxReal}
+	if f.Phantom() {
+		return rf
+	}
+	plan, err := fft.NewRealPlan(n2)
+	if err != nil {
+		panic(err)
+	}
+	rf.Data = make([]float64, p.zBoxReal.Volume())
+	for r := 0; r < rows; r++ {
+		x, err := plan.Inverse(f.Data[r*h : (r+1)*h])
+		if err != nil {
+			panic(err)
+		}
+		copy(rf.Data[r*n2:(r+1)*n2], x)
+	}
+	return rf
+}
+
+// fft1D runs one complex 1-D stage of the half-grid pipeline.
+func (p *RealPlan) fft1D(st stage, f *Field, dir fft.Direction) {
+	box := st.myBox
+	if box.Empty() {
+		return
+	}
+	s := box.Sizes()
+	n := s[st.axis]
+	batch := box.Volume() / n
+	strided := st.axis != 2 && !p.opts.Contiguous
+	if !f.Phantom() {
+		plan := fft.NewPlan(n)
+		switch st.axis {
+		case 1:
+			for i0 := 0; i0 < s[0]; i0++ {
+				plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
+				plan.TransformBatch(plane, s[2], 1, s[2], dir)
+			}
+		case 0:
+			plan.TransformBatch(f.Data, s[1]*s[2], 1, s[1]*s[2], dir)
+		case 2:
+			plan.TransformBatch(f.Data, 1, s[2], s[0]*s[1], dir)
+		}
+	}
+	p.dev.FFT1D(n, batch, strided)
+}
+
+// PredictComm evaluates the bandwidth model for this plan's geometry — the
+// complex phases move half-grid volumes, plus the half-byte real reshape.
+func (p *RealPlan) PredictComm() float64 {
+	m := p.comm.Model()
+	params := model.Params{Latency: m.InterLatency, Bandwidth: m.NodeInjectionBW}
+	n := p.half[0] * p.half[1] * p.half[2]
+	return model.PencilTime(n, p.p, p.q, params)
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// reshapePlan is one data transfer phase of Algorithm 1: moving the
+// distributed array from one set of per-rank boxes to another. Ranks that
+// hold no data on either side are excluded from the exchange group entirely
+// (this is what makes FFT grid shrinking pay off: idle ranks cost nothing).
+type reshapePlan struct {
+	label string
+	tag   int
+
+	from, to tensor.Box3 // this rank's boxes
+
+	// group is the subcommunicator of ranks touching this exchange; nil when
+	// this rank is not involved.
+	group *mpisim.Comm
+	// members maps group rank → parent comm rank (sorted ascending).
+	members     []int
+	myGroupRank int
+	// sends[gi] is the part of my `from` box that group member gi owns in
+	// the target distribution; recvs[gi] the part of my `to` box that gi
+	// owns in the source distribution. Either may be empty.
+	sends, recvs []tensor.Box3
+}
+
+// reshapeGroups is the once-per-world group analysis of a reshape: the
+// connected components of the "data moves between i and j" graph.
+type reshapeGroups struct {
+	color   []int         // component root per rank, -1 when uninvolved
+	members map[int][]int // root → sorted member ranks
+}
+
+// computeReshapeGroups runs union-find over the rank overlap graph. This is
+// O(size²) box intersections, so it is memoized per world (see buildReshape)
+// instead of being repeated by all 3072 ranks of the biggest experiments.
+func computeReshapeGroups(from, to []tensor.Box3) *reshapeGroups {
+	size := len(from)
+	parent := make([]int, size)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // root is the smallest rank, for determinism
+		}
+	}
+	for i := 0; i < size; i++ {
+		if from[i].Empty() {
+			continue
+		}
+		for j := 0; j < size; j++ {
+			if !tensor.Intersect(from[i], to[j]).Empty() {
+				union(i, j)
+			}
+		}
+	}
+	g := &reshapeGroups{color: make([]int, size), members: map[int][]int{}}
+	for r := 0; r < size; r++ {
+		if from[r].Empty() && to[r].Empty() {
+			g.color[r] = -1
+			continue
+		}
+		root := find(r)
+		g.color[r] = root
+		g.members[root] = append(g.members[root], r) // ascending by construction
+	}
+	return g
+}
+
+// buildReshape collectively constructs a reshape phase. Every rank of c must
+// call it with identical box lists.
+func buildReshape(c *mpisim.Comm, from, to []tensor.Box3, label string, tag int) *reshapePlan {
+	key := fmt.Sprintf("core/reshape/%x", hashBoxes(from, to))
+	g := c.World().Shared(key, func() any { return computeReshapeGroups(from, to) }).(*reshapeGroups)
+
+	me := c.Rank()
+	color := g.color[me]
+	group := c.Split(color, me)
+
+	rs := &reshapePlan{label: label, tag: tag, from: from[me], to: to[me]}
+	if group == nil {
+		return rs
+	}
+	rs.group = group
+	rs.myGroupRank = group.Rank()
+	rs.members = g.members[color]
+	if len(rs.members) != group.Size() {
+		panic(fmt.Sprintf("core: reshape %s: computed %d members, split gave %d", label, len(rs.members), group.Size()))
+	}
+	rs.sends = make([]tensor.Box3, group.Size())
+	rs.recvs = make([]tensor.Box3, group.Size())
+	for gi, r := range rs.members {
+		rs.sends[gi] = tensor.Intersect(from[me], to[r])
+		rs.recvs[gi] = tensor.Intersect(from[r], to[me])
+	}
+	return rs
+}
+
+// hashBoxes returns an FNV-1a content hash of box lists, used as the
+// memoization key for the group analysis (a pure function of the boxes).
+func hashBoxes(lists ...[]tensor.Box3) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v int) {
+		h ^= uint64(uint32(v))
+		h *= prime
+	}
+	for _, l := range lists {
+		mix(len(l))
+		for _, b := range l {
+			for d := 0; d < 3; d++ {
+				mix(b.Lo[d])
+				mix(b.Hi[d])
+			}
+		}
+	}
+	return h
+}
+
+// run executes the exchange for a batch of complex fields (all sharing the
+// same distribution). Batch payloads are fused into single messages per pair
+// — the mechanism behind the batched-transform speedups of Fig. 13.
+func (rs *reshapePlan) run(ctx execCtx, fields []*Field) {
+	datas := make([][]complex128, len(fields))
+	for i, f := range fields {
+		if !f.Box.Equal(rs.from) {
+			panic(fmt.Sprintf("core: reshape %s: field box %v != expected %v", rs.label, f.Box, rs.from))
+		}
+		datas[i] = f.Data
+	}
+	out := runReshape(rs, ctx, datas, fields[0].Phantom())
+	for i, f := range fields {
+		f.Box = rs.to
+		if out != nil {
+			f.Data = out[i]
+		}
+	}
+}
+
+// runReal is the float64 flavour, used for the input/output reshapes of
+// real-to-complex transforms: real elements are 8 bytes, so these phases
+// move half the bytes of their complex counterparts.
+func (rs *reshapePlan) runReal(ctx execCtx, fields []*RealField) {
+	datas := make([][]float64, len(fields))
+	for i, f := range fields {
+		if !f.Box.Equal(rs.from) {
+			panic(fmt.Sprintf("core: reshape %s: field box %v != expected %v", rs.label, f.Box, rs.from))
+		}
+		datas[i] = f.Data
+	}
+	out := runReshape(rs, ctx, datas, fields[0].Phantom())
+	for i, f := range fields {
+		f.Box = rs.to
+		if out != nil {
+			f.Data = out[i]
+		}
+	}
+}
+
+// execCtx carries what a reshape needs from its plan.
+type execCtx struct {
+	dev  *gpu.Device
+	opts Options
+}
+
+// mkBuf wraps a typed slice (or a phantom element count) as a message
+// payload.
+func mkBuf[T any](data []T, phantomElems int) mpisim.Buf {
+	if data == nil {
+		var zero T
+		_, isReal := any(zero).(float64)
+		return mpisim.Buf{N: phantomElems, PhantomReal: isReal, Loc: machine.Device}
+	}
+	switch d := any(data).(type) {
+	case []complex128:
+		return mpisim.Buf{Data: d, Loc: machine.Device}
+	case []float64:
+		return mpisim.Buf{Real: d, Loc: machine.Device}
+	default:
+		panic("core: unsupported payload element type")
+	}
+}
+
+// bufSlice extracts the typed payload of a received buffer.
+func bufSlice[T any](b mpisim.Buf) []T {
+	var zero T
+	switch any(zero).(type) {
+	case complex128:
+		return any(b.Data).([]T)
+	case float64:
+		return any(b.Real).([]T)
+	default:
+		panic("core: unsupported payload element type")
+	}
+}
+
+func elemBytes[T any]() int {
+	var zero T
+	if _, ok := any(zero).(float64); ok {
+		return 8
+	}
+	return 16
+}
+
+// runReshape executes one exchange generically over the element type:
+// complex128 for the transform pipeline, float64 for R2C input/output.
+// datas[i] is batch entry i's local array over rs.from (nil slices for
+// phantom batches); the return value holds the new arrays over rs.to (nil
+// for phantom).
+func runReshape[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) [][]T {
+	if rs.group == nil {
+		// Not involved: the local share simply becomes empty (or stays
+		// untouched when this rank re-enters later via another stage).
+		if phantom {
+			return nil
+		}
+		out := make([][]T, len(datas))
+		for i := range out {
+			out[i] = make([]T, rs.to.Volume())
+		}
+		return out
+	}
+	if ctx.opts.Backend.Collective() {
+		return runReshapeCollective(rs, ctx, datas, phantom)
+	}
+	return runReshapeP2P(rs, ctx, datas, phantom)
+}
+
+// packSendBufs builds the per-member send buffers, fusing the batch.
+func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.Buf, int) {
+	gs := rs.group.Size()
+	bufs := make([]mpisim.Buf, gs)
+	totalBytes := 0
+	eb := elemBytes[T]()
+	for gi := 0; gi < gs; gi++ {
+		sb := rs.sends[gi]
+		vol := sb.Volume()
+		if vol == 0 {
+			bufs[gi] = mpisim.Buf{Loc: machine.Device}
+			continue
+		}
+		elems := vol * len(datas)
+		totalBytes += eb * elems
+		if phantom {
+			bufs[gi] = mkBuf[T](nil, elems)
+			continue
+		}
+		data := make([]T, elems)
+		off := 0
+		for _, d := range datas {
+			tensor.Pack(d, rs.from, sb, data[off:off+vol])
+			off += vol
+		}
+		bufs[gi] = mkBuf(data, 0)
+	}
+	return bufs, totalBytes
+}
+
+// unpackBufInto scatters one member's received buffer into the new arrays.
+func unpackBufInto[T any](rs *reshapePlan, newData [][]T, gi int, buf mpisim.Buf) {
+	rb := rs.recvs[gi]
+	vol := rb.Volume()
+	if vol == 0 || newData == nil {
+		return
+	}
+	src := bufSlice[T](buf)
+	off := 0
+	for fi := range newData {
+		tensor.Unpack(newData[fi], rs.to, rb, src[off:off+vol])
+		off += vol
+	}
+}
+
+func allocNewArrays[T any](rs *reshapePlan, n int, phantom bool) [][]T {
+	if phantom {
+		return nil
+	}
+	out := make([][]T, n)
+	for i := range out {
+		out[i] = make([]T, rs.to.Volume())
+	}
+	return out
+}
+
+// runReshapeCollective implements the All-to-All flavours. MPI_Alltoall and
+// MPI_Alltoallv pack/unpack on the device around one collective call
+// (Algorithm 1); MPI_Alltoallw (Algorithm 2) hands the library derived
+// sub-array datatypes, eliminating the pack/unpack kernels but paying the
+// naive, non-GPU-aware transport.
+func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) [][]T {
+	useW := ctx.opts.Backend == BackendAlltoallw
+	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	if !useW {
+		ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
+	}
+	g := rs.group
+	var recv []mpisim.Buf
+	switch ctx.opts.Backend {
+	case BackendAlltoall:
+		recv = g.Alltoall(bufs)
+	case BackendAlltoallv:
+		recv = g.Alltoallv(bufs)
+	case BackendAlltoallw:
+		recv = g.Alltoallw(bufs)
+	default:
+		panic("core: runReshapeCollective with P2P backend")
+	}
+	newData := allocNewArrays[T](rs, len(datas), phantom)
+	recvBytes := 0
+	eb := elemBytes[T]()
+	for gi := range recv {
+		vol := rs.recvs[gi].Volume()
+		if vol == 0 {
+			continue
+		}
+		recvBytes += eb * vol * len(datas)
+		if newData != nil {
+			unpackBufInto(rs, newData, gi, recv[gi])
+		}
+	}
+	if !useW {
+		ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
+	}
+	return newData
+}
+
+// runReshapeP2P implements the Point-to-Point exchanges of Table I: heFFTe's
+// MPI_Isend/MPI_Irecv/Waitany (non-blocking) or MPI_Send/MPI_Irecv
+// (blocking). Receives are posted first, sends streamed, and arrivals
+// unpacked as they complete.
+func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) [][]T {
+	g := rs.group
+	gs := g.Size()
+	me := rs.myGroupRank
+	blocking := ctx.opts.Backend == BackendP2PBlocking
+
+	// Post all receives.
+	var rreqs []*mpisim.Request
+	var rsrcs []int
+	for gi := 0; gi < gs; gi++ {
+		if gi != me && !rs.recvs[gi].Empty() {
+			rreqs = append(rreqs, g.Irecv(gi, rs.tag))
+			rsrcs = append(rsrcs, gi)
+		}
+	}
+
+	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
+
+	// Stream the sends.
+	var sreqs []*mpisim.Request
+	for gi := 0; gi < gs; gi++ {
+		if gi == me || rs.sends[gi].Empty() {
+			continue
+		}
+		if blocking {
+			g.Send(gi, rs.tag, bufs[gi])
+		} else {
+			sreqs = append(sreqs, g.Isend(gi, rs.tag, bufs[gi]))
+		}
+	}
+
+	newData := allocNewArrays[T](rs, len(datas), phantom)
+	eb := elemBytes[T]()
+
+	// The local share never touches the network.
+	if self := rs.sends[me]; !self.Empty() {
+		if newData != nil {
+			unpackBufInto(rs, newData, me, bufs[me])
+		}
+		ctx.dev.Unpack(eb*self.Volume()*len(datas), ctx.opts.Contiguous)
+	}
+
+	// Drain arrivals in completion order (MPI_Waitany), unpacking each.
+	for range rreqs {
+		i, buf := g.Waitany(rreqs)
+		if newData != nil {
+			unpackBufInto(rs, newData, rsrcs[i], buf)
+		}
+		ctx.dev.Unpack(buf.Bytes(), ctx.opts.Contiguous)
+	}
+	if !blocking {
+		g.Waitall(sreqs)
+	}
+	return newData
+}

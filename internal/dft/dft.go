@@ -1,0 +1,76 @@
+// Package dft provides a naive O(n²) discrete Fourier transform used purely
+// as a test oracle for internal/fft and the distributed transforms.
+package dft
+
+import "math"
+
+// Transform returns the DFT of x with the forward sign convention
+// X[k] = Σ x[n]·exp(-2πi kn/N). It never modifies x.
+func Transform(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Inverse returns the inverse DFT of x, scaled by 1/N, so that
+// Inverse(Transform(x)) == x up to rounding.
+func Inverse(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum / complex(float64(n), 0)
+	}
+	return out
+}
+
+// Transform3D computes the 3-D DFT of a row-major n0×n1×n2 array by applying
+// the 1-D oracle along each axis. Returns a new slice.
+func Transform3D(x []complex128, n0, n1, n2 int) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	// Along n2.
+	for i := 0; i < n0*n1; i++ {
+		row := out[i*n2 : (i+1)*n2]
+		copy(row, Transform(row))
+	}
+	// Along n1.
+	buf := make([]complex128, n1)
+	for i0 := 0; i0 < n0; i0++ {
+		for i2 := 0; i2 < n2; i2++ {
+			for i1 := 0; i1 < n1; i1++ {
+				buf[i1] = out[(i0*n1+i1)*n2+i2]
+			}
+			res := Transform(buf)
+			for i1 := 0; i1 < n1; i1++ {
+				out[(i0*n1+i1)*n2+i2] = res[i1]
+			}
+		}
+	}
+	// Along n0.
+	buf0 := make([]complex128, n0)
+	for i1 := 0; i1 < n1; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			for i0 := 0; i0 < n0; i0++ {
+				buf0[i0] = out[(i0*n1+i1)*n2+i2]
+			}
+			res := Transform(buf0)
+			for i0 := 0; i0 < n0; i0++ {
+				out[(i0*n1+i1)*n2+i2] = res[i0]
+			}
+		}
+	}
+	return out
+}

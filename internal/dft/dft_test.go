@@ -1,0 +1,88 @@
+package dft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// The oracle itself is validated against hand-computable cases, so the FFT
+// tests that rely on it rest on something checked independently.
+
+func TestImpulse(t *testing.T) {
+	x := make([]complex128, 4)
+	x[0] = 1
+	got := Transform(x)
+	for k, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestSingleTone(t *testing.T) {
+	// x[n] = exp(2πi·n·3/8) concentrates all energy in bin 3.
+	n := 8
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * float64(i) * 3 / float64(n)
+		x[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	got := Transform(x)
+	for k, v := range got {
+		want := complex(0, 0)
+		if k == 3 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	x := []complex128{1 + 2i, -3, 0.5i, 4 - 1i, 2, -2i}
+	back := Inverse(Transform(x))
+	for i := range x {
+		if cmplx.Abs(back[i]-x[i]) > 1e-10 {
+			t.Errorf("index %d: %v != %v", i, back[i], x[i])
+		}
+	}
+}
+
+func TestTransformDoesNotMutate(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	Transform(x)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestTransform3DSeparability(t *testing.T) {
+	// A rank-1 separable signal x(i,j,k) = a(i)b(j)c(k) transforms to
+	// A(i)B(j)C(k).
+	a := []complex128{1, 2i}
+	b := []complex128{3, -1, 1i}
+	c := []complex128{2, 0}
+	n0, n1, n2 := len(a), len(b), len(c)
+	x := make([]complex128, n0*n1*n2)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n1; j++ {
+			for k := 0; k < n2; k++ {
+				x[(i*n1+j)*n2+k] = a[i] * b[j] * c[k]
+			}
+		}
+	}
+	got := Transform3D(x, n0, n1, n2)
+	fa, fb, fc := Transform(a), Transform(b), Transform(c)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n1; j++ {
+			for k := 0; k < n2; k++ {
+				want := fa[i] * fb[j] * fc[k]
+				if cmplx.Abs(got[(i*n1+j)*n2+k]-want) > 1e-9 {
+					t.Fatalf("(%d,%d,%d): got %v want %v", i, j, k, got[(i*n1+j)*n2+k], want)
+				}
+			}
+		}
+	}
+}

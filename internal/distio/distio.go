@@ -1,0 +1,105 @@
+// Package distio moves whole distributed arrays between a root rank and the
+// job — the scatter/gather I/O every example and test needs around a
+// distributed transform. It goes through the simulated MPI (Scatterv /
+// Gatherv), so the cost of assembling a global array is part of the virtual
+// timeline, exactly as in a real application.
+package distio
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// ScatterComplex distributes a global row-major array (significant at root
+// only) onto per-rank boxes; every rank receives its own box's data.
+func ScatterComplex(c *mpisim.Comm, root int, global [3]int, boxes []tensor.Box3, globalData []complex128) ([]complex128, error) {
+	if len(boxes) != c.Size() {
+		return nil, fmt.Errorf("distio: %d boxes for %d ranks", len(boxes), c.Size())
+	}
+	full := tensor.FullBox(global)
+	var bufs []mpisim.Buf
+	if c.Rank() == root {
+		if len(globalData) != full.Volume() {
+			return nil, fmt.Errorf("distio: global data length %d != volume %d", len(globalData), full.Volume())
+		}
+		bufs = make([]mpisim.Buf, c.Size())
+		for r, b := range boxes {
+			part := make([]complex128, b.Volume())
+			tensor.Pack(globalData, full, b, part)
+			bufs[r] = mpisim.Buf{Data: part, Loc: machine.Device}
+		}
+	}
+	got := c.Scatterv(root, bufs)
+	if got.Phantom() {
+		return make([]complex128, boxes[c.Rank()].Volume()), nil
+	}
+	return got.Data, nil
+}
+
+// GatherComplex reassembles a distributed array at root (nil elsewhere).
+func GatherComplex(c *mpisim.Comm, root int, global [3]int, boxes []tensor.Box3, local []complex128) ([]complex128, error) {
+	me := boxes[c.Rank()]
+	if len(local) != me.Volume() {
+		return nil, fmt.Errorf("distio: local length %d != box volume %d", len(local), me.Volume())
+	}
+	parts := c.Gatherv(root, mpisim.Buf{Data: local, Loc: machine.Device})
+	if c.Rank() != root {
+		return nil, nil
+	}
+	full := tensor.FullBox(global)
+	out := make([]complex128, full.Volume())
+	for r, b := range boxes {
+		if b.Volume() > 0 {
+			tensor.Unpack(out, full, b, parts[r].Data)
+		}
+	}
+	return out, nil
+}
+
+// ScatterReal is the float64 variant for real-to-complex inputs.
+func ScatterReal(c *mpisim.Comm, root int, global [3]int, boxes []tensor.Box3, globalData []float64) ([]float64, error) {
+	if len(boxes) != c.Size() {
+		return nil, fmt.Errorf("distio: %d boxes for %d ranks", len(boxes), c.Size())
+	}
+	full := tensor.FullBox(global)
+	var bufs []mpisim.Buf
+	if c.Rank() == root {
+		if len(globalData) != full.Volume() {
+			return nil, fmt.Errorf("distio: global data length %d != volume %d", len(globalData), full.Volume())
+		}
+		bufs = make([]mpisim.Buf, c.Size())
+		for r, b := range boxes {
+			part := make([]float64, b.Volume())
+			tensor.Pack(globalData, full, b, part)
+			bufs[r] = mpisim.Buf{Real: part, Loc: machine.Device}
+		}
+	}
+	got := c.Scatterv(root, bufs)
+	if got.Phantom() {
+		return make([]float64, boxes[c.Rank()].Volume()), nil
+	}
+	return got.Real, nil
+}
+
+// GatherReal reassembles a distributed real array at root (nil elsewhere).
+func GatherReal(c *mpisim.Comm, root int, global [3]int, boxes []tensor.Box3, local []float64) ([]float64, error) {
+	me := boxes[c.Rank()]
+	if len(local) != me.Volume() {
+		return nil, fmt.Errorf("distio: local length %d != box volume %d", len(local), me.Volume())
+	}
+	parts := c.Gatherv(root, mpisim.Buf{Real: local, Loc: machine.Device})
+	if c.Rank() != root {
+		return nil, nil
+	}
+	full := tensor.FullBox(global)
+	out := make([]float64, full.Volume())
+	for r, b := range boxes {
+		if b.Volume() > 0 {
+			tensor.Unpack(out, full, b, parts[r].Real)
+		}
+	}
+	return out, nil
+}

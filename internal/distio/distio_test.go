@@ -1,0 +1,129 @@
+package distio
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+func TestScatterGatherComplexRoundTrip(t *testing.T) {
+	global := [3]int{6, 8, 4}
+	size := 6
+	boxes := tensor.NewProcGrid(1, 3, 2).Decompose(global)
+	orig := make([]complex128, global[0]*global[1]*global[2])
+	for i := range orig {
+		orig[i] = complex(float64(i), -float64(i))
+	}
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	var got []complex128
+	var mu sync.Mutex
+	w.Run(func(c *mpisim.Comm) {
+		var root []complex128
+		if c.Rank() == 0 {
+			root = orig
+		}
+		local, err := ScatterComplex(c, 0, global, boxes, root)
+		if err != nil {
+			panic(err)
+		}
+		if len(local) != boxes[c.Rank()].Volume() {
+			panic("wrong local length")
+		}
+		back, err := GatherComplex(c, 0, global, boxes, local)
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			got = back
+			mu.Unlock()
+		} else if back != nil {
+			panic("non-root received gathered data")
+		}
+	})
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestScatterGatherRealRoundTrip(t *testing.T) {
+	global := [3]int{4, 4, 6}
+	size := 4
+	boxes := tensor.NewProcGrid(2, 2, 1).Decompose(global)
+	orig := make([]float64, global[0]*global[1]*global[2])
+	for i := range orig {
+		orig[i] = float64(3*i + 1)
+	}
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	var got []float64
+	w.Run(func(c *mpisim.Comm) {
+		var root []float64
+		if c.Rank() == 1 {
+			root = orig
+		}
+		local, err := ScatterReal(c, 1, global, boxes, root)
+		if err != nil {
+			panic(err)
+		}
+		back, err := GatherReal(c, 1, global, boxes, local)
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 1 {
+			got = back
+		}
+	})
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("real round trip differs at %d", i)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 2, mpisim.Options{})
+	w.Run(func(c *mpisim.Comm) {
+		global := [3]int{2, 2, 2}
+		boxes := tensor.NewProcGrid(2, 1, 1).Decompose(global)
+		if _, err := ScatterComplex(c, 0, global, boxes[:1], nil); err == nil {
+			t.Error("expected error for wrong box count")
+		}
+		if _, err := GatherComplex(c, 0, global, boxes, make([]complex128, 1)); err == nil {
+			t.Error("expected error for wrong local length")
+		}
+	})
+	// Root-side length validation happens before the collective, so it can
+	// only be tested symmetrically on a single-rank world.
+	w1 := mpisim.NewWorld(machine.Summit(), 1, mpisim.Options{})
+	w1.Run(func(c *mpisim.Comm) {
+		global := [3]int{2, 2, 2}
+		boxes := []tensor.Box3{tensor.FullBox(global)}
+		if _, err := ScatterComplex(c, 0, global, boxes, make([]complex128, 3)); err == nil {
+			t.Error("expected error for wrong global length")
+		}
+	})
+}
+
+func TestScatterAdvancesClocks(t *testing.T) {
+	global := [3]int{8, 8, 8}
+	size := 6
+	boxes := tensor.NewProcGrid(1, 2, 3).Decompose(global)
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	res := w.Run(func(c *mpisim.Comm) {
+		var root []complex128
+		if c.Rank() == 0 {
+			root = make([]complex128, 512)
+		}
+		if _, err := ScatterComplex(c, 0, global, boxes, root); err != nil {
+			panic(err)
+		}
+	})
+	if res.MaxClock <= 0 {
+		t.Error("scatter cost no virtual time")
+	}
+}

@@ -1,0 +1,311 @@
+// Package fft implements serial fast Fourier transforms used as the local
+// (single-device) kernel of the distributed transforms in internal/core.
+//
+// It plays the role cuFFT, rocFFT and FFTW play in the paper: the distributed
+// layer calls into it for batches of 1-D, 2-D and 3-D complex-to-complex
+// transforms over contiguous or strided data. All numerics are exact pure-Go
+// implementations; the *cost* of these kernels on a GPU is modelled separately
+// by internal/gpu.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey algorithm with a
+// precomputed bit-reversal permutation and twiddle table. Arbitrary lengths
+// use Bluestein's chirp-z algorithm on top of a power-of-two transform.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Direction selects the transform sign convention.
+type Direction int
+
+const (
+	// Forward applies exp(-2πi kn/N), matching equation (1) of the paper.
+	Forward Direction = iota
+	// Inverse applies exp(+2πi kn/N) and scales by 1/N so that
+	// Inverse(Forward(x)) == x.
+	Inverse
+)
+
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "inverse"
+}
+
+// Plan holds the precomputed tables for transforms of a fixed length.
+// A Plan is safe for concurrent use by multiple goroutines once created.
+type Plan struct {
+	n int
+
+	// Power-of-two machinery (nil when n is not a power of two).
+	rev  []int           // bit-reversal permutation
+	twid [2][]complex128 // twiddles per direction: exp(∓2πi j/n) for j < n/2
+
+	// Bluestein machinery (nil when n is a power of two).
+	bluestein *bluesteinPlan
+}
+
+type bluesteinPlan struct {
+	m     int          // power-of-two length >= 2n-1
+	sub   *Plan        // power-of-two sub-plan of length m
+	chirp []complex128 // w[k] = exp(-iπ k²/n), k < n
+	// bq[d] is the precomputed forward transform (length m) of the chirp
+	// filter for direction d.
+	bq [2][]complex128
+}
+
+var (
+	planCacheMu sync.Mutex
+	planCache   = map[int]*Plan{}
+)
+
+// NewPlan returns a plan for transforms of length n, caching plans so that
+// repeated requests for the same length are cheap. n must be >= 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	if p, ok := planCache[n]; ok {
+		return p
+	}
+	p := newPlanUncached(n)
+	planCache[n] = p
+	return p
+}
+
+func newPlanUncached(n int) *Plan {
+	p := &Plan{n: n}
+	if isPow2(n) {
+		p.initPow2()
+	} else {
+		p.initBluestein()
+	}
+	return p
+}
+
+// N reports the transform length of the plan.
+func (p *Plan) N() int { return p.n }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(n - 1)))
+}
+
+func (p *Plan) initPow2() {
+	n := p.n
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	for d := 0; d < 2; d++ {
+		sign := -1.0
+		if Direction(d) == Inverse {
+			sign = 1.0
+		}
+		tw := make([]complex128, n/2)
+		for j := range tw {
+			ang := sign * 2 * math.Pi * float64(j) / float64(n)
+			tw[j] = complex(math.Cos(ang), math.Sin(ang))
+		}
+		p.twid[d] = tw
+	}
+}
+
+func (p *Plan) initBluestein() {
+	n := p.n
+	b := &bluesteinPlan{m: nextPow2(2*n - 1)}
+	b.sub = newPlanUncached(b.m)
+	b.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k² mod 2n to keep the argument small and the chirp exact.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := math.Pi * float64(kk) / float64(n)
+		b.chirp[k] = complex(math.Cos(ang), -math.Sin(ang))
+	}
+	for d := 0; d < 2; d++ {
+		q := make([]complex128, b.m)
+		for k := 0; k < n; k++ {
+			c := b.chirp[k]
+			if Direction(d) == Inverse {
+				c = complex(real(c), -imag(c))
+			}
+			// Filter is the conjugate chirp, symmetric around 0 (mod m).
+			cc := complex(real(c), -imag(c))
+			q[k] = cc
+			if k > 0 {
+				q[b.m-k] = cc
+			}
+		}
+		b.sub.transformPow2(q, Forward)
+		b.bq[d] = q
+	}
+	p.bluestein = b
+}
+
+// Transform computes an in-place transform of data, which must have length
+// p.N(). The inverse direction includes the 1/N scaling.
+func (p *Plan) Transform(data []complex128, dir Direction) {
+	if len(data) != p.n {
+		panic(fmt.Sprintf("fft: Transform length %d does not match plan length %d", len(data), p.n))
+	}
+	if p.bluestein == nil {
+		p.transformPow2(data, dir)
+		if dir == Inverse {
+			scale(data, 1/float64(p.n))
+		}
+		return
+	}
+	p.transformBluestein(data, dir)
+}
+
+func (p *Plan) transformPow2(data []complex128, dir Direction) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	rev := p.rev
+	for i, j := range rev {
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	tw := p.twid[dir]
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for j := start; j < start+half; j++ {
+				a := data[j]
+				b := data[j+half] * tw[k]
+				data[j] = a + b
+				data[j+half] = a - b
+				k += step
+			}
+		}
+	}
+}
+
+func (p *Plan) transformBluestein(data []complex128, dir Direction) {
+	b := p.bluestein
+	n := p.n
+	a := make([]complex128, b.m)
+	for k := 0; k < n; k++ {
+		c := b.chirp[k]
+		if dir == Inverse {
+			c = complex(real(c), -imag(c))
+		}
+		a[k] = data[k] * c
+	}
+	b.sub.transformPow2(a, Forward)
+	q := b.bq[dir]
+	for i := range a {
+		a[i] *= q[i]
+	}
+	b.sub.transformPow2(a, Inverse)
+	// The two opposite-direction sub-transforms cancel their scaling except
+	// for the 1/m of the inverse, applied here.
+	invM := 1 / float64(b.m)
+	for k := 0; k < n; k++ {
+		c := b.chirp[k]
+		if dir == Inverse {
+			c = complex(real(c), -imag(c))
+		}
+		data[k] = a[k] * c * complex(invM, 0)
+	}
+	if dir == Inverse {
+		scale(data, 1/float64(n))
+	}
+}
+
+func scale(data []complex128, s float64) {
+	cs := complex(s, 0)
+	for i := range data {
+		data[i] *= cs
+	}
+}
+
+// TransformBatch computes batch transforms of length p.N() over data laid out
+// with the given element stride within one transform and distance dist between
+// the first elements of consecutive transforms. This matches the advanced
+// layout of cuFFT/FFTW plans (stride, dist, batch). Strided data is gathered
+// to a contiguous scratch buffer, transformed, and scattered back; numerics
+// are identical to the contiguous path (the *cost* difference of strided GPU
+// kernels is modelled in internal/gpu).
+func (p *Plan) TransformBatch(data []complex128, stride, dist, batch int, dir Direction) {
+	if batch == 0 {
+		return
+	}
+	if stride < 1 || dist < 0 || batch < 0 {
+		panic(fmt.Sprintf("fft: invalid batch layout stride=%d dist=%d batch=%d", stride, dist, batch))
+	}
+	n := p.n
+	if stride == 1 {
+		for b := 0; b < batch; b++ {
+			p.Transform(data[b*dist:b*dist+n], dir)
+		}
+		return
+	}
+	scratch := make([]complex128, n)
+	for b := 0; b < batch; b++ {
+		base := b * dist
+		for i := 0; i < n; i++ {
+			scratch[i] = data[base+i*stride]
+		}
+		p.Transform(scratch, dir)
+		for i := 0; i < n; i++ {
+			data[base+i*stride] = scratch[i]
+		}
+	}
+}
+
+// Transform1D is a convenience wrapper computing a single contiguous 1-D
+// transform of arbitrary length.
+func Transform1D(data []complex128, dir Direction) {
+	NewPlan(len(data)).Transform(data, dir)
+}
+
+// Transform2D computes an in-place 2-D transform of a row-major n0×n1 array
+// (n1 contiguous).
+func Transform2D(data []complex128, n0, n1 int, dir Direction) {
+	if len(data) != n0*n1 {
+		panic(fmt.Sprintf("fft: Transform2D length %d != %d*%d", len(data), n0, n1))
+	}
+	// Rows: contiguous transforms of length n1.
+	NewPlan(n1).TransformBatch(data, 1, n1, n0, dir)
+	// Columns: strided transforms of length n0.
+	NewPlan(n0).TransformBatch(data, n1, 1, n1, dir)
+}
+
+// Transform3D computes an in-place 3-D transform of a row-major n0×n1×n2
+// array (n2 contiguous, n0 slowest). This is the serial reference against
+// which the distributed plans of internal/core are validated.
+func Transform3D(data []complex128, n0, n1, n2 int, dir Direction) {
+	if len(data) != n0*n1*n2 {
+		panic(fmt.Sprintf("fft: Transform3D length %d != %d*%d*%d", len(data), n0, n1, n2))
+	}
+	// Along n2: contiguous.
+	NewPlan(n2).TransformBatch(data, 1, n2, n0*n1, dir)
+	// Along n1: stride n2, batched per (i0, i2) pair; iterate planes to keep
+	// dist handling simple.
+	p1 := NewPlan(n1)
+	for i0 := 0; i0 < n0; i0++ {
+		plane := data[i0*n1*n2 : (i0+1)*n1*n2]
+		p1.TransformBatch(plane, n2, 1, n2, dir)
+	}
+	// Along n0: stride n1*n2.
+	p0 := NewPlan(n0)
+	p0.TransformBatch(data, n1*n2, 1, n1*n2, dir)
+}

@@ -1,0 +1,104 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Real-to-complex and complex-to-real transforms. Real input of length n has
+// a Hermitian spectrum X[k] = conj(X[n−k]), so only n/2+1 coefficients are
+// stored — the layout cuFFT (CUFFT_D2Z/Z2D) and FFTW (r2c/c2r) use, and the
+// transform LAMMPS' KSPACE applies to its charge grid. The implementation
+// packs the real signal into a half-length complex transform (the classic
+// "two-for-one" trick), so it costs roughly half a complex FFT of the same
+// length.
+
+// RealPlan holds tables for real transforms of a fixed even length.
+type RealPlan struct {
+	n    int
+	half *Plan
+	// tw[k] = exp(-πik/ (n/2)) … the post-processing twiddles.
+	tw []complex128
+}
+
+// NewRealPlan returns a plan for real transforms of even length n >= 2.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("fft: real transforms need even length >= 2, got %d", n)
+	}
+	p := &RealPlan{n: n, half: NewPlan(n / 2)}
+	p.tw = make([]complex128, n/2+1)
+	for k := range p.tw {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.tw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p, nil
+}
+
+// N reports the real transform length.
+func (p *RealPlan) N() int { return p.n }
+
+// SpectrumLen reports the stored half-spectrum length, n/2+1.
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// Forward computes the half-spectrum of the real signal x (length n),
+// returning n/2+1 complex coefficients with X[0] and X[n/2] purely real.
+func (p *RealPlan) Forward(x []float64) ([]complex128, error) {
+	if len(x) != p.n {
+		return nil, fmt.Errorf("fft: real input length %d != plan length %d", len(x), p.n)
+	}
+	h := p.n / 2
+	// Pack pairs into a complex signal z[j] = x[2j] + i·x[2j+1].
+	z := make([]complex128, h)
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.Transform(z, Forward)
+	// Unpack: split Z into the spectra of the even and odd subsequences and
+	// combine with twiddles.
+	out := make([]complex128, h+1)
+	for k := 0; k <= h; k++ {
+		var zk, znk complex128
+		switch {
+		case k == h:
+			zk = z[0]
+			znk = z[0]
+		case k == 0:
+			zk = z[0]
+			znk = z[0]
+		default:
+			zk = z[k]
+			znk = z[h-k]
+		}
+		even := (zk + conj(znk)) / 2
+		odd := (zk - conj(znk)) / complex(0, 2)
+		out[k] = even + p.tw[k]*odd
+	}
+	return out, nil
+}
+
+// Inverse reconstructs the real signal from its half-spectrum (length
+// n/2+1), scaled so Inverse(Forward(x)) == x.
+func (p *RealPlan) Inverse(spec []complex128) ([]float64, error) {
+	if len(spec) != p.n/2+1 {
+		return nil, fmt.Errorf("fft: half-spectrum length %d != %d", len(spec), p.n/2+1)
+	}
+	h := p.n / 2
+	z := make([]complex128, h)
+	for k := 0; k < h; k++ {
+		sk := spec[k]
+		snk := conj(spec[h-k])
+		even := (sk + snk) / 2
+		odd := (sk - snk) / 2 * conj(p.tw[k])
+		z[k] = even + complex(0, 1)*odd
+	}
+	p.half.Transform(z, Inverse)
+	out := make([]float64, p.n)
+	for j := 0; j < h; j++ {
+		out[2*j] = real(z[j])
+		out[2*j+1] = imag(z[j])
+	}
+	return out, nil
+}
+
+func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }

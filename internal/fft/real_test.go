@@ -1,0 +1,151 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dft"
+)
+
+func TestRealPlanValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d) should fail", n)
+		}
+	}
+	p, err := NewRealPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 16 || p.SpectrumLen() != 9 {
+		t.Errorf("N=%d SpectrumLen=%d", p.N(), p.SpectrumLen())
+	}
+	if _, err := p.Forward(make([]float64, 5)); err == nil {
+		t.Error("wrong-length forward input should fail")
+	}
+	if _, err := p.Inverse(make([]complex128, 5)); err == nil {
+		t.Error("wrong-length inverse input should fail")
+	}
+}
+
+func TestRealForwardMatchesComplexDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 4, 6, 8, 16, 30, 64, 100, 256} {
+		x := make([]float64, n)
+		cx := make([]complex128, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			cx[i] = complex(x[i], 0)
+		}
+		want := dft.Transform(cx)
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRealEdgeBinsAreReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 32
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	p, _ := NewRealPlan(n)
+	spec, err := p.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imag(spec[0])) > 1e-12 || math.Abs(imag(spec[n/2])) > 1e-12 {
+		t.Errorf("DC/Nyquist bins not real: %v, %v", spec[0], spec[n/2])
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{2, 8, 10, 64, 254} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := p.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := p.Inverse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: round trip differs at %d: %g vs %g", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestRealRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := (int(nRaw)%100 + 1) * 2
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		p, err := NewRealPlan(n)
+		if err != nil {
+			return false
+		}
+		spec, err := p.Forward(x)
+		if err != nil {
+			return false
+		}
+		back, err := p.Inverse(spec)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-8*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRealFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(44))
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	p, _ := NewRealPlan(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package gpu charges virtual time for the local kernels a distributed FFT
+// launches on each accelerator — batched vendor FFTs, pack/unpack and
+// transpose kernels, device↔host copies — and records one trace event per
+// kernel so the paper's per-call and breakdown figures can be regenerated.
+//
+// The numerics of the kernels are computed elsewhere (internal/fft on the
+// CPU); a Device only accounts for what the kernels would cost on the
+// modelled GPU.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// Device is one rank's accelerator.
+type Device struct {
+	comm  *mpisim.Comm
+	model *machine.GPU
+	// fftName is the vendor library name used in trace events: cuFFT on
+	// V100 machines, rocFFT on MI100 (Fig. 13 uses both).
+	fftName string
+}
+
+// New returns the device of the calling rank.
+func New(c *mpisim.Comm) *Device {
+	g := &c.Model().GPU
+	name := "cufft"
+	if g.Name == "MI100" {
+		name = "rocfft"
+	}
+	return &Device{comm: c, model: g, fftName: name}
+}
+
+// Model returns the underlying GPU cost model.
+func (d *Device) Model() *machine.GPU { return d.model }
+
+// FFTName returns the vendor FFT library name ("cufft" or "rocfft").
+func (d *Device) FFTName() string { return d.fftName }
+
+func (d *Device) charge(name string, dt float64, bytes int) {
+	start := d.comm.Clock()
+	d.comm.Advance(dt)
+	d.comm.Tracer().Record(trace.Event{
+		Rank: d.comm.WorldRank(d.comm.Rank()), Name: name,
+		Start: start, End: start + dt, Bytes: bytes,
+	})
+}
+
+// FFT1D charges a batch of 1-D transforms of length n. strided marks
+// non-unit-stride input, which pays the Fig. 10 spike.
+func (d *Device) FFT1D(n, batch int, strided bool) {
+	if batch == 0 {
+		return
+	}
+	suffix := ""
+	if strided {
+		suffix = "_strided"
+	}
+	d.charge(fmt.Sprintf("%s_1d%s", d.fftName, suffix), d.model.FFT1DCost(n, batch, strided), 16*n*batch)
+}
+
+// FFTR2C charges a batch of real-to-complex (or complex-to-real) 1-D
+// transforms of real length n.
+func (d *Device) FFTR2C(n, batch int) {
+	if batch == 0 {
+		return
+	}
+	d.charge(fmt.Sprintf("%s_r2c", d.fftName), d.model.FFTR2CCost(n, batch), 8*n*batch)
+}
+
+// FFT2D charges a batch of 2-D n0×n1 transforms (slab decomposition).
+func (d *Device) FFT2D(n0, n1, batch int, strided bool) {
+	if batch == 0 {
+		return
+	}
+	suffix := ""
+	if strided {
+		suffix = "_strided"
+	}
+	d.charge(fmt.Sprintf("%s_2d%s", d.fftName, suffix), d.model.FFT2DCost(n0, n1, batch, strided), 16*n0*n1*batch)
+}
+
+// Pack charges a packing kernel over the given bytes. transposed marks the
+// "contiguous/transposed" local-FFT path, where packing doubles as an axis
+// transposition and costs more (Figs. 6 and 7 left panels).
+func (d *Device) Pack(bytes int, transposed bool) {
+	if bytes == 0 {
+		return
+	}
+	cost := d.model.PackCost(bytes)
+	if transposed {
+		cost = d.model.ReorderCost(bytes)
+	}
+	d.charge("pack", cost, bytes)
+}
+
+// Unpack charges an unpacking kernel; see Pack for the transposed flag.
+func (d *Device) Unpack(bytes int, transposed bool) {
+	if bytes == 0 {
+		return
+	}
+	cost := d.model.PackCost(bytes)
+	if transposed {
+		cost = d.model.ReorderCost(bytes)
+	}
+	d.charge("unpack", cost, bytes)
+}
+
+// Reorder charges an on-device transposition making an FFT axis contiguous
+// (the "transposed/contiguous" local-FFT path of Figs. 6 and 7).
+func (d *Device) Reorder(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	d.charge("reorder", d.model.ReorderCost(bytes), bytes)
+}
+
+// Copy charges a device↔host transfer (outside MPI, e.g. result download).
+func (d *Device) Copy(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	d.charge("copy", d.model.CopyCost(bytes), bytes)
+}
+
+// Pointwise charges an elementwise kernel (scaling, spectral convolution).
+func (d *Device) Pointwise(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	d.charge("pointwise", d.model.PointwiseCost(bytes), bytes)
+}

@@ -1,0 +1,383 @@
+// Package machine models the hardware of the systems used in the paper —
+// Summit (2×POWER9 + 6×V100 per node, dual-rail EDR InfiniBand) and Spock
+// (4×MI100 per node, Slingshot) — as a small set of bandwidth/latency/overhead
+// parameters consumed by the virtual-time MPI simulator (internal/mpisim) and
+// the GPU execution model (internal/gpu).
+//
+// The model is LogGP-flavoured: a message pays a software posting overhead, is
+// serialized through its sender's injection port at the path bandwidth, and
+// arrives one latency later. Device buffers sent without GPU-aware MPI stage
+// through the PCIe bus on both ends (device → host → host → device, as the
+// paper describes for heFFTe's -no-gpu-aware flag). Inter-node flows share
+// the node's injection bandwidth among the node's ranks and are degraded by a
+// mild fabric saturation factor as the job spans more nodes — the effect that
+// causes the exponential decrease of average per-process bandwidth in Fig. 4.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Location says where a message buffer lives. Transfers from Device buffers
+// either use GPU-aware MPI (GPUDirect-style) or must stage through the host.
+type Location int
+
+const (
+	Host Location = iota
+	Device
+)
+
+func (l Location) String() string {
+	if l == Host {
+		return "host"
+	}
+	return "device"
+}
+
+// MsgClass distinguishes the software stack a message goes through; vendor
+// collectives (MPI_Alltoall/v) have much lower per-message costs than the
+// generic point-to-point path, and MPI_Alltoallw is a naive Isend/Irecv loop
+// (the paper: "its MPI_Alltoallw is simply composed of a non-blocking
+// MPI_Isend and MPI_Irecv algorithm for any array size").
+type MsgClass int
+
+const (
+	ClassP2P MsgClass = iota
+	ClassCollective
+	ClassAlltoallw
+)
+
+// Model holds all hardware parameters. Fields are exported so experiments can
+// build custom machines; use Summit and Spock for the paper's systems.
+type Model struct {
+	Name        string
+	GPUsPerNode int
+
+	// Link parameters (bytes/second, seconds).
+	IntraBW         float64 // per-flow GPU↔GPU bandwidth inside a node (NVLink / xGMI)
+	IntraLatency    float64 // intra-node message latency
+	NodeInjectionBW float64 // inter-node bandwidth of one node, shared by its ranks
+	InterLatency    float64 // inter-node wire latency (paper assumes 1 µs on Summit)
+
+	// Per-message software posting overheads (seconds).
+	HostOverheadP2P   float64 // generic P2P path, host buffer
+	DeviceOverheadP2P float64 // generic P2P path, GPU-aware device buffer (RDMA registration)
+	// DeviceP2PCongestion is the additional per-message cost of GPU-aware
+	// point-to-point transfers per node spanned by the job: GPUDirect RDMA
+	// keeps per-peer registrations and queue-pair state whose management
+	// degrades as a rank talks to endpoints across more of the machine.
+	// This phenomenological term (calibrated, seconds/node/message) is what
+	// makes GPU-aware P2P "fail to keep scaling" at large node counts while
+	// host-staged P2P and the vendor collectives continue (paper, Figs. 8/9
+	// and Section IV.C).
+	DeviceP2PCongestion float64
+	HostOverheadColl    float64 // optimized collective path, host buffer
+	DeviceOverheadColl  float64 // optimized collective path, device buffer
+	AlltoallwOverhead   float64 // naive Alltoallw per-message setup (derived datatypes)
+	// AlltoallwBWFactor scales the bandwidth Alltoallw messages achieve:
+	// the naive Isend/Irecv loop cannot drive the topology-aware schedules
+	// (NVLink ordering, rail binding) the optimized Alltoall(v) algorithms
+	// use — "MPI_Alltoallw is far less optimized compared to
+	// MPI_Alltoall(v)" (paper, Section II).
+	AlltoallwBWFactor float64
+
+	// Staging path for non-GPU-aware transfers of device buffers.
+	PCIeBW          float64 // device↔host copy bandwidth
+	StagingOverhead float64 // fixed cost per staging copy (launch + sync)
+	// StagingOverlap is the fraction of bulk staging time hidden behind the
+	// network transfer when a collective stages its whole buffer (chunked
+	// copies pipeline with sends). Per-message staging (P2P, Alltoallw)
+	// never overlaps. Calibrated so disabling GPU-awareness costs ≈30%
+	// (paper, Fig. 11).
+	StagingOverlap float64
+
+	// AlltoallwGPUAware reports whether the MPI distribution provides a
+	// GPU-aware MPI_Alltoallw. SpectrumMPI 10.4 does not (paper, Section II),
+	// so device buffers passed to Alltoallw always stage through the host.
+	// MVAPICH-GDR does.
+	AlltoallwGPUAware bool
+
+	// Fabric saturation: inter-node per-flow bandwidth is multiplied by
+	// 1/(1+(nodes/SaturationRef)^SaturationExp). Models adaptive-routing and
+	// switch contention losses as the job spans more of the fat tree.
+	SaturationRef float64
+	SaturationExp float64
+
+	GPU GPU
+}
+
+// Summit returns the model of the Summit supercomputer used for all V100
+// experiments in the paper: 6 V100 per node, NVLink 50 GB/s bidirectional
+// peaks (≈40 GB/s effective per flow), dual-rail EDR InfiniBand with a
+// practical node bandwidth of 23.5 GB/s, SpectrumMPI software costs.
+func Summit() *Model {
+	return &Model{
+		Name:        "summit",
+		GPUsPerNode: 6,
+
+		// Effective NVLink bandwidth per flow under all-to-all traffic: each
+		// V100 has direct NVLink to only two peers (25 GB/s each way);
+		// transfers to the other three GPUs route through the POWER9, so
+		// sustained per-flow bandwidth in a full exchange is far below link
+		// peak.
+		IntraBW:         13e9,
+		IntraLatency:    3e-6,
+		NodeInjectionBW: 23.5e9,
+		InterLatency:    1e-6,
+
+		HostOverheadP2P:     5e-6,
+		DeviceOverheadP2P:   20e-6,
+		DeviceP2PCongestion: 0.35e-6,
+		HostOverheadColl:    2e-6,
+		DeviceOverheadColl:  4e-6,
+		AlltoallwOverhead:   25e-6,
+		AlltoallwBWFactor:   0.55,
+
+		PCIeBW:          14e9,
+		StagingOverhead: 6e-6,
+		StagingOverlap:  0.5,
+
+		AlltoallwGPUAware: false, // SpectrumMPI 10.4
+
+		SaturationRef: 96,
+		SaturationExp: 1.2,
+
+		GPU: GPU{
+			Name:           "V100",
+			FFTThroughput:  1.4e12, // effective flop/s of batched cuFFT fp64
+			KernelLaunch:   5e-6,
+			StridedPenalty: 3.0,
+			StridedSetup:   28e-6, // per-call spike of strided cuFFT (Fig. 10)
+			MemBW:          780e9, // effective HBM2 bandwidth for pack/unpack
+			PCIeBW:         14e9,
+		},
+	}
+}
+
+// Spock returns the model of the Spock early-access system (4 MI100 per
+// node, Slingshot-10). Spock's interconnect has lower node bandwidth than
+// Summit, and rocFFT throughput is modelled slightly below cuFFT's.
+func Spock() *Model {
+	return &Model{
+		Name:        "spock",
+		GPUsPerNode: 4,
+
+		IntraBW:         12e9, // effective xGMI per flow under all-to-all traffic
+		IntraLatency:    3e-6,
+		NodeInjectionBW: 12.5e9, // Slingshot-10 single NIC
+		InterLatency:    1.5e-6,
+
+		HostOverheadP2P:     5e-6,
+		DeviceOverheadP2P:   22e-6,
+		DeviceP2PCongestion: 0.4e-6,
+		HostOverheadColl:    2e-6,
+		DeviceOverheadColl:  5e-6,
+		AlltoallwOverhead:   25e-6,
+		AlltoallwBWFactor:   0.55,
+
+		PCIeBW:          20e9, // PCIe gen4
+		StagingOverhead: 6e-6,
+		StagingOverlap:  0.5,
+
+		AlltoallwGPUAware: true, // MPICH-based stacks on Spock
+
+		SaturationRef: 96,
+		SaturationExp: 1.2,
+
+		GPU: GPU{
+			Name:           "MI100",
+			FFTThroughput:  1.1e12,
+			KernelLaunch:   6e-6,
+			StridedPenalty: 3.2,
+			StridedSetup:   30e-6,
+			MemBW:          820e9,
+			PCIeBW:         20e9,
+		},
+	}
+}
+
+// Frontier returns a projection of the Frontier exascale system the paper's
+// conclusions point to (Spock was its precursor): 4 MI250X per node exposed
+// as 8 GCDs (1 rank per GCD), four Slingshot-11 NICs per node, and a larger
+// fabric before saturation. Used by the exascale-projection experiment; the
+// paper itself has no Frontier numbers, so this preset extrapolates the
+// Spock calibration.
+func Frontier() *Model {
+	return &Model{
+		Name:        "frontier",
+		GPUsPerNode: 8,
+
+		IntraBW:         20e9, // Infinity Fabric, effective per flow in all-to-all
+		IntraLatency:    2e-6,
+		NodeInjectionBW: 80e9, // 4 × Slingshot-11 NICs, practical
+		InterLatency:    1.5e-6,
+
+		HostOverheadP2P:     4e-6,
+		DeviceOverheadP2P:   18e-6,
+		DeviceP2PCongestion: 0.3e-6,
+		HostOverheadColl:    2e-6,
+		DeviceOverheadColl:  4e-6,
+		AlltoallwOverhead:   22e-6,
+		AlltoallwBWFactor:   0.55,
+
+		PCIeBW:          32e9, // Infinity Fabric CPU↔GPU
+		StagingOverhead: 5e-6,
+		StagingOverlap:  0.5,
+
+		AlltoallwGPUAware: true,
+
+		SaturationRef: 512, // much larger dragonfly fabric
+		SaturationExp: 1.2,
+
+		GPU: GPU{
+			Name:           "MI250X",
+			FFTThroughput:  2.6e12, // per GCD, effective
+			KernelLaunch:   5e-6,
+			StridedPenalty: 3.0,
+			StridedSetup:   26e-6,
+			MemBW:          1.3e12,
+			PCIeBW:         32e9,
+		},
+	}
+}
+
+// Validate checks that all parameters are physically sensible.
+func (m *Model) Validate() error {
+	pos := func(v float64, name string) error {
+		if v <= 0 {
+			return fmt.Errorf("machine %q: %s must be positive, got %g", m.Name, name, v)
+		}
+		return nil
+	}
+	if m.GPUsPerNode < 1 {
+		return fmt.Errorf("machine %q: GPUsPerNode must be >= 1, got %d", m.Name, m.GPUsPerNode)
+	}
+	checks := []struct {
+		v    float64
+		name string
+	}{
+		{m.IntraBW, "IntraBW"}, {m.NodeInjectionBW, "NodeInjectionBW"},
+		{m.PCIeBW, "PCIeBW"}, {m.GPU.FFTThroughput, "GPU.FFTThroughput"},
+		{m.GPU.MemBW, "GPU.MemBW"},
+	}
+	for _, c := range checks {
+		if err := pos(c.v, c.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Node reports the node index hosting the given rank (ranks are placed in
+// blocks of GPUsPerNode, 1 MPI process per GPU as in all paper experiments).
+func (m *Model) Node(rank int) int { return rank / m.GPUsPerNode }
+
+// SameNode reports whether two ranks share a node.
+func (m *Model) SameNode(a, b int) bool { return m.Node(a) == m.Node(b) }
+
+// Nodes reports how many nodes a job of the given size spans.
+func (m *Model) Nodes(size int) int {
+	return (size + m.GPUsPerNode - 1) / m.GPUsPerNode
+}
+
+// SaturationFactor returns the multiplier (≤1) applied to inter-node per-flow
+// bandwidth for a job spanning the given number of nodes.
+func (m *Model) SaturationFactor(nodes int) float64 {
+	if nodes <= 1 {
+		return 1
+	}
+	x := float64(nodes) / m.SaturationRef
+	return 1 / (1 + math.Pow(x, m.SaturationExp))
+}
+
+// FlowBW returns the per-flow bandwidth between two ranks in a job spanning
+// `nodes` nodes. Intra-node flows use the NVLink/xGMI bandwidth; inter-node
+// flows share the node injection bandwidth among the node's ranks and are
+// degraded by the saturation factor.
+func (m *Model) FlowBW(src, dst, nodes int) float64 {
+	if m.SameNode(src, dst) {
+		return m.IntraBW
+	}
+	return m.NodeInjectionBW / float64(m.GPUsPerNode) * m.SaturationFactor(nodes)
+}
+
+// Latency returns the wire latency between two ranks.
+func (m *Model) Latency(src, dst int) float64 {
+	if m.SameNode(src, dst) {
+		return m.IntraLatency
+	}
+	return m.InterLatency
+}
+
+// PathCost decomposes the cost of one message. See package comment for the
+// semantics of each leg.
+type PathCost struct {
+	PostOverhead float64 // sender software cost to post the operation
+	PreStage     float64 // sender-side D2H staging (non-GPU-aware device buffers)
+	PortTime     float64 // occupancy of the sender's injection port
+	Latency      float64 // wire latency after leaving the port
+	PostStage    float64 // receiver-side H2D staging
+	RecvOverhead float64 // receiver software cost to complete the match
+}
+
+// Total returns the end-to-end time of the message when nothing overlaps.
+func (c PathCost) Total() float64 {
+	return c.PostOverhead + c.PreStage + c.PortTime + c.Latency + c.PostStage + c.RecvOverhead
+}
+
+// MsgCost computes the cost decomposition for one message of the given size
+// between two ranks. dev says the buffers are device-resident; aware says the
+// MPI stack may use GPU-aware transfers (the heFFTe -no-gpu-aware flag turns
+// this off). nodes is the number of nodes spanned by the communicator's job,
+// used for the saturation factor.
+func (m *Model) MsgCost(bytes int, src, dst, nodes int, dev, aware bool, class MsgClass) PathCost {
+	var c PathCost
+	b := float64(bytes)
+
+	staged := dev && !m.gpuAwareFor(class, aware)
+	effDev := dev && !staged // message travels as a device buffer
+
+	switch class {
+	case ClassP2P:
+		if effDev {
+			c.PostOverhead = m.DeviceOverheadP2P + m.DeviceP2PCongestion*float64(nodes)
+			c.RecvOverhead = m.DeviceOverheadP2P / 2
+		} else {
+			c.PostOverhead = m.HostOverheadP2P
+			c.RecvOverhead = m.HostOverheadP2P / 2
+		}
+	case ClassCollective:
+		if effDev {
+			c.PostOverhead = m.DeviceOverheadColl
+		} else {
+			c.PostOverhead = m.HostOverheadColl
+		}
+	case ClassAlltoallw:
+		c.PostOverhead = m.AlltoallwOverhead
+	}
+
+	if staged {
+		c.PreStage = m.StagingOverhead + b/m.PCIeBW
+		c.PostStage = m.StagingOverhead + b/m.PCIeBW
+	}
+	bw := m.FlowBW(src, dst, nodes)
+	if class == ClassAlltoallw && m.AlltoallwBWFactor > 0 {
+		bw *= m.AlltoallwBWFactor
+	}
+	c.PortTime = b / bw
+	c.Latency = m.Latency(src, dst)
+	return c
+}
+
+// gpuAwareFor reports whether transfers of the given class can be GPU-aware
+// under this MPI stack when the user enables GPU-awareness.
+func (m *Model) gpuAwareFor(class MsgClass, aware bool) bool {
+	if !aware {
+		return false
+	}
+	if class == ClassAlltoallw {
+		return m.AlltoallwGPUAware
+	}
+	return true
+}

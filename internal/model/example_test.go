@@ -1,0 +1,42 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ExamplePreferSlabs reproduces the paper's Section IV.A prediction: with
+// B = 23.5 GB/s and L = 1 µs, slabs beat pencils for 512³ below 64 Summit
+// nodes.
+func ExamplePreferSlabs() {
+	params := model.SummitParams()
+	global := [3]int{512, 512, 512}
+	fmt.Println("32 nodes (192 ranks, 12×16):", model.PreferSlabs(global, 12, 16, params))
+	fmt.Println("64 nodes (384 ranks, 16×24):", model.PreferSlabs(global, 16, 24, params))
+	// Output:
+	// 32 nodes (192 ranks, 12×16): true
+	// 64 nodes (384 ranks, 16×24): false
+}
+
+// ExampleSlabTime evaluates equation (2) at the paper's constants.
+func ExampleSlabTime() {
+	n := 512 * 512 * 512
+	t := model.SlabTime(n, 24, model.SummitParams())
+	fmt.Printf("T_slabs(Π=24) = %.1f ms\n", t*1e3)
+	// Output: T_slabs(Π=24) = 3.7 ms
+}
+
+// ExampleFitGamma fits the Chatterjee-style scaling exponent to strong-
+// scaling measurements.
+func ExampleFitGamma() {
+	nodes := []int{1, 2, 4, 8}
+	times := []float64{0.8, 0.42, 0.22, 0.115}
+	gamma, _, err := model.FitGamma(nodes, times)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("T ∝ n^-%.2f\n", gamma)
+	// Output: T ∝ n^-0.93
+}

@@ -1,0 +1,198 @@
+// Package model implements the communication cost and bandwidth model of
+// Section III of the paper (equations 2–5) and the slab-vs-pencil predictor
+// built on it (Section IV.A).
+//
+// The model assumes a complex-to-complex transform of N total elements
+// (16 bytes each), an average per-link bandwidth B and latency L. For slabs,
+// one exchange moves 1/Π of each rank's N/Π elements to each of its Π−1
+// neighbours (eq. 2); for pencils, two exchanges move data within the rows
+// (P) and columns (Q) of the 2-D process grid (eq. 3). Inverting the
+// equations over a measured runtime yields the average achieved bandwidth
+// (eqs. 4 and 5) plotted in Fig. 4.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the machine constants of the model. The paper uses
+// B = 23.5 GB/s (practical Summit node bandwidth) and L = 1 µs.
+type Params struct {
+	Latency   float64 // L, seconds
+	Bandwidth float64 // B, bytes/second
+}
+
+// SummitParams returns the constants the paper plugs into the model.
+func SummitParams() Params {
+	return Params{Latency: 1e-6, Bandwidth: 23.5e9}
+}
+
+const elemBytes = 16 // double-complex
+
+// SlabTime evaluates equation (2): the communication time of the single
+// exchange of a slab-decomposed FFT of N total elements over Π processes.
+//
+//	T_slabs = (Π−1)·(L + 16N/(B·Π²))
+func SlabTime(n int, pi int, p Params) float64 {
+	if pi <= 1 {
+		return 0
+	}
+	fp := float64(pi)
+	return (fp - 1) * (p.Latency + elemBytes*float64(n)/(p.Bandwidth*fp*fp))
+}
+
+// PencilTime evaluates equation (3): the two exchanges of a pencil-decomposed
+// FFT over a P×Q grid (Π = P·Q).
+//
+//	T_pencils = (P−1)·(L + 16N/(B·P·Π)) + (Q−1)·(L + 16N/(B·Q·Π))
+func PencilTime(n, pg, qg int, p Params) float64 {
+	pi := float64(pg) * float64(qg)
+	t := 0.0
+	for _, g := range []float64{float64(pg), float64(qg)} {
+		if g > 1 {
+			t += (g - 1) * (p.Latency + elemBytes*float64(n)/(p.Bandwidth*g*pi))
+		}
+	}
+	return t
+}
+
+// SlabBandwidth inverts equation (2) into equation (4): given a measured
+// communication time t for the slab exchange, return the average achieved
+// per-process bandwidth.
+//
+//	B_slabs = 16N / (Π²·(T/(Π−1) − L))
+func SlabBandwidth(n, pi int, t, latency float64) (float64, error) {
+	if pi <= 1 {
+		return 0, fmt.Errorf("model: slab bandwidth undefined for Π=%d", pi)
+	}
+	fp := float64(pi)
+	denom := fp * fp * (t/(fp-1) - latency)
+	if denom <= 0 {
+		return 0, fmt.Errorf("model: measured time %g too small for latency %g", t, latency)
+	}
+	return elemBytes * float64(n) / denom, nil
+}
+
+// PencilBandwidth inverts equation (3) into equation (5).
+//
+//	B_pencils = 16N·((P−1)/P + (Q−1)/Q) / (Π·(T − L·(P+Q−2)))
+func PencilBandwidth(n, pg, qg int, t, latency float64) (float64, error) {
+	if pg*qg <= 1 {
+		return 0, fmt.Errorf("model: pencil bandwidth undefined for Π=%d", pg*qg)
+	}
+	fp, fq := float64(pg), float64(qg)
+	pi := fp * fq
+	denom := pi * (t - latency*(fp+fq-2))
+	if denom <= 0 {
+		return 0, fmt.Errorf("model: measured time %g too small for latency %g", t, latency)
+	}
+	return elemBytes * float64(n) * ((fp-1)/fp + (fq-1)/fq) / denom, nil
+}
+
+// PreferSlabs reports whether the model predicts the slab decomposition to
+// beat the P×Q pencil decomposition for a transform of n total elements on
+// Π = P·Q processes, provided slabs are feasible (Π must not exceed the
+// smallest grid extent — the scalability limit of Fig. 1).
+func PreferSlabs(global [3]int, pg, qg int, p Params) bool {
+	pi := pg * qg
+	minExtent := global[0]
+	for _, e := range global[1:] {
+		if e < minExtent {
+			minExtent = e
+		}
+	}
+	if pi > minExtent {
+		return false
+	}
+	n := global[0] * global[1] * global[2]
+	return SlabTime(n, pi, p) < PencilTime(n, pg, qg, p)
+}
+
+// CrossoverNodes returns the smallest node count (given ranks per node and a
+// P/Q chooser) at which pencils beat slabs for the global grid — the
+// boundary of the "best setting regions" of Fig. 5.
+func CrossoverNodes(global [3]int, ranksPerNode, maxNodes int, grid func(pi int) (p, q int), params Params) int {
+	for nodes := 1; nodes <= maxNodes; nodes++ {
+		pi := nodes * ranksPerNode
+		pg, qg := grid(pi)
+		if !PreferSlabs(global, pg, qg, params) {
+			return nodes
+		}
+	}
+	return maxNodes + 1
+}
+
+// PhasePoint is one cell of a phase diagram: for a grid size and process
+// count, which decomposition the model predicts.
+type PhasePoint struct {
+	N       [3]int
+	Pi      int
+	Slabs   bool
+	TimeSec float64 // predicted communication time of the winner
+}
+
+// PhaseDiagram sweeps cube sizes × process counts and returns the predicted
+// winner at each point (the tool behind `fftplan -phase`).
+func PhaseDiagram(sizes []int, pis []int, grid func(pi int) (p, q int), params Params) []PhasePoint {
+	var out []PhasePoint
+	for _, s := range sizes {
+		for _, pi := range pis {
+			pg, qg := grid(pi)
+			g := [3]int{s, s, s}
+			slabs := PreferSlabs(g, pg, qg, params)
+			n := s * s * s
+			t := PencilTime(n, pg, qg, params)
+			if slabs {
+				t = SlabTime(n, pi, params)
+			}
+			out = append(out, PhasePoint{N: g, Pi: pi, Slabs: slabs, TimeSec: t})
+		}
+	}
+	return out
+}
+
+// Extrapolate predicts the communication time at targetNodes from
+// measurements at smaller node counts, using the n^−γ regression of [33] —
+// the paper's alternative to the closed-form model for machines where the
+// equations do not hold.
+func Extrapolate(nodes []int, times []float64, targetNodes int) (float64, error) {
+	gamma, c, err := FitGamma(nodes, times)
+	if err != nil {
+		return 0, err
+	}
+	if targetNodes <= 0 {
+		return 0, fmt.Errorf("model: invalid target node count %d", targetNodes)
+	}
+	return c * math.Pow(float64(targetNodes), -gamma), nil
+}
+
+// FitGamma performs the regression of Chatterjee et al. [33]: fit
+// T(n) ≈ C·n^(−γ) over measured (nodes, time) pairs by least squares in
+// log-log space, returning γ and C. Used as the alternative predictor the
+// paper mentions in Section IV.A.
+func FitGamma(nodes []int, times []float64) (gamma, c float64, err error) {
+	if len(nodes) != len(times) || len(nodes) < 2 {
+		return 0, 0, fmt.Errorf("model: FitGamma needs >=2 matched samples, got %d/%d", len(nodes), len(times))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range nodes {
+		if nodes[i] <= 0 || times[i] <= 0 {
+			return 0, 0, fmt.Errorf("model: FitGamma requires positive samples")
+		}
+		x := math.Log(float64(nodes[i]))
+		y := math.Log(times[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	n := float64(len(nodes))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, 0, fmt.Errorf("model: FitGamma samples are degenerate")
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	return -slope, math.Exp(intercept), nil
+}

@@ -1,0 +1,211 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlabTimeMatchesFormula(t *testing.T) {
+	p := SummitParams()
+	n := 512 * 512 * 512
+	pi := 384
+	want := float64(pi-1) * (p.Latency + 16*float64(n)/(p.Bandwidth*float64(pi)*float64(pi)))
+	if got := SlabTime(n, pi, p); math.Abs(got-want) > 1e-15 {
+		t.Errorf("SlabTime = %g, want %g", got, want)
+	}
+	if SlabTime(n, 1, p) != 0 {
+		t.Error("single process needs no communication")
+	}
+}
+
+func TestPencilTimeMatchesFormula(t *testing.T) {
+	p := SummitParams()
+	n := 512 * 512 * 512
+	pg, qg := 16, 24
+	pi := float64(pg * qg)
+	want := float64(pg-1)*(p.Latency+16*float64(n)/(p.Bandwidth*float64(pg)*pi)) +
+		float64(qg-1)*(p.Latency+16*float64(n)/(p.Bandwidth*float64(qg)*pi))
+	if got := PencilTime(n, pg, qg, p); math.Abs(got-want) > 1e-15 {
+		t.Errorf("PencilTime = %g, want %g", got, want)
+	}
+	if PencilTime(n, 1, 1, p) != 0 {
+		t.Error("1x1 grid needs no communication")
+	}
+}
+
+// TestBandwidthInversion: plugging the forward model's time into the
+// bandwidth formulas must return exactly the model bandwidth — eqs. (4) and
+// (5) are the inverses of (2) and (3).
+func TestBandwidthInversion(t *testing.T) {
+	p := SummitParams()
+	n := 512 * 512 * 512
+	for _, pi := range []int{6, 24, 96, 384, 768} {
+		tm := SlabTime(n, pi, p)
+		got, err := SlabBandwidth(n, pi, tm, p.Latency)
+		if err != nil {
+			t.Fatalf("Π=%d: %v", pi, err)
+		}
+		if math.Abs(got-p.Bandwidth)/p.Bandwidth > 1e-9 {
+			t.Errorf("Π=%d: slab bandwidth inversion %g != %g", pi, got, p.Bandwidth)
+		}
+	}
+	for _, g := range [][2]int{{2, 3}, {4, 6}, {16, 24}, {24, 32}} {
+		tm := PencilTime(n, g[0], g[1], p)
+		got, err := PencilBandwidth(n, g[0], g[1], tm, p.Latency)
+		if err != nil {
+			t.Fatalf("grid %v: %v", g, err)
+		}
+		if math.Abs(got-p.Bandwidth)/p.Bandwidth > 1e-9 {
+			t.Errorf("grid %v: pencil bandwidth inversion %g != %g", g, got, p.Bandwidth)
+		}
+	}
+}
+
+func TestBandwidthInversionProperty(t *testing.T) {
+	p := SummitParams()
+	f := func(nRaw uint32, pRaw, qRaw uint8) bool {
+		n := int(nRaw%(1<<24)) + 1024
+		pg := int(pRaw%30) + 2
+		qg := int(qRaw%30) + 2
+		tm := PencilTime(n, pg, qg, p)
+		got, err := PencilBandwidth(n, pg, qg, tm, p.Latency)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-p.Bandwidth)/p.Bandwidth < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthErrorsOnImpossibleTimes(t *testing.T) {
+	if _, err := SlabBandwidth(1000, 4, 0, 1e-6); err == nil {
+		t.Error("expected error when measured time is below the latency floor")
+	}
+	if _, err := PencilBandwidth(1000, 2, 2, 0, 1e-6); err == nil {
+		t.Error("expected error when measured time is below the latency floor")
+	}
+	if _, err := SlabBandwidth(1000, 1, 1, 1e-6); err == nil {
+		t.Error("expected error for Π=1")
+	}
+}
+
+// TestPaperCrossoverAt64Nodes reproduces the paper's Section IV.A
+// prediction: with B = 23.5 GB/s and L = 1 µs, slabs beat pencils for 512³
+// below 64 Summit nodes and lose from 64 nodes on (Fig. 5 regions).
+func TestPaperCrossoverAt64Nodes(t *testing.T) {
+	params := SummitParams()
+	global := [3]int{512, 512, 512}
+	grids := map[int][2]int{}
+	for _, e := range []struct{ pi, p, q int }{
+		{6, 2, 3}, {12, 3, 4}, {24, 4, 6}, {48, 6, 8}, {96, 8, 12},
+		{192, 12, 16}, {384, 16, 24}, {768, 24, 32},
+	} {
+		grids[e.pi] = [2]int{e.p, e.q}
+	}
+	gridOf := func(pi int) (int, int) {
+		if g, ok := grids[pi]; ok {
+			return g[0], g[1]
+		}
+		// Most-square factorization for counts outside Table III.
+		p := 1
+		for f := 1; f*f <= pi; f++ {
+			if pi%f == 0 {
+				p = f
+			}
+		}
+		return p, pi / p
+	}
+	cross := CrossoverNodes(global, 6, 128, gridOf, params)
+	if cross < 33 || cross > 64 {
+		t.Errorf("model crossover at %d nodes; paper predicts slabs fastest below 64 nodes", cross)
+	}
+	// Spot checks at the extremes.
+	if !PreferSlabs(global, 4, 6, params) {
+		t.Error("slabs should win at 24 ranks (4 nodes)")
+	}
+	if PreferSlabs(global, 24, 32, params) {
+		t.Error("pencils should win at 768 ranks (128 nodes)")
+	}
+}
+
+func TestPreferSlabsRespectsFeasibility(t *testing.T) {
+	// Slabs cannot use more processes than the smallest grid extent.
+	if PreferSlabs([3]int{32, 32, 32}, 8, 8, SummitParams()) {
+		t.Error("slabs infeasible for Π=64 > 32")
+	}
+}
+
+func TestPhaseDiagram(t *testing.T) {
+	pts := PhaseDiagram([]int{128, 512, 1024}, []int{6, 24, 96, 384}, func(pi int) (int, int) {
+		p := 1
+		for f := 1; f*f <= pi; f++ {
+			if pi%f == 0 {
+				p = f
+			}
+		}
+		return p, pi / p
+	}, SummitParams())
+	if len(pts) != 12 {
+		t.Fatalf("got %d phase points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.TimeSec <= 0 {
+			t.Errorf("phase point %v has non-positive predicted time", pt)
+		}
+	}
+}
+
+func TestFitGammaRecoversExponent(t *testing.T) {
+	nodes := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	times := make([]float64, len(nodes))
+	for i, n := range nodes {
+		times[i] = 3.5 * math.Pow(float64(n), -0.85)
+	}
+	gamma, c, err := FitGamma(nodes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gamma-0.85) > 1e-9 || math.Abs(c-3.5) > 1e-9 {
+		t.Errorf("FitGamma = (%g, %g), want (0.85, 3.5)", gamma, c)
+	}
+}
+
+func TestFitGammaErrors(t *testing.T) {
+	if _, _, err := FitGamma([]int{1}, []float64{1}); err == nil {
+		t.Error("expected error for single sample")
+	}
+	if _, _, err := FitGamma([]int{1, 2}, []float64{1}); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, _, err := FitGamma([]int{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("expected error for non-positive nodes")
+	}
+	if _, _, err := FitGamma([]int{2, 2}, []float64{1, 2}); err == nil {
+		t.Error("expected error for degenerate samples")
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	nodes := []int{1, 2, 4, 8}
+	times := make([]float64, len(nodes))
+	for i, n := range nodes {
+		times[i] = 2.0 * math.Pow(float64(n), -0.9)
+	}
+	got, err := Extrapolate(nodes, times, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 * math.Pow(64, -0.9)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Extrapolate = %g, want %g", got, want)
+	}
+	if _, err := Extrapolate(nodes, times, 0); err == nil {
+		t.Error("expected error for target 0")
+	}
+	if _, err := Extrapolate(nodes[:1], times[:1], 16); err == nil {
+		t.Error("expected error for too few samples")
+	}
+}

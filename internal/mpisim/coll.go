@@ -1,0 +1,497 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// rendezvous is the synchronization point of collectives: every member
+// deposits an input and a clock snapshot; the last arrival runs the timing
+// computation over all inputs; everyone leaves with its own output. A
+// drain phase keeps back-to-back collectives on the same communicator from
+// overlapping.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	leaving int
+	inputs  []collIn
+	outputs []collOut
+}
+
+type collIn struct {
+	clock float64
+	send  []Buf
+	val   float64
+	buf   Buf
+}
+
+type collOut struct {
+	clock     float64
+	recv      []Buf
+	val       float64
+	buf       Buf
+	splitCore *commCore
+	splitRank int
+}
+
+func newRendezvous(size int) *rendezvous {
+	rv := &rendezvous{size: size}
+	rv.cond = sync.NewCond(&rv.mu)
+	return rv
+}
+
+// exchange runs one collective round. compute is executed exactly once, by
+// the last arriving rank, over the dense input slice.
+func (rv *rendezvous) exchange(w *World, rank int, in collIn, compute func(ins []collIn) []collOut) collOut {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	for rv.leaving > 0 {
+		if w.failed.Load() {
+			panic(worldAborted{})
+		}
+		rv.cond.Wait()
+	}
+	if rv.inputs == nil {
+		rv.inputs = make([]collIn, rv.size)
+	}
+	rv.inputs[rank] = in
+	rv.arrived++
+	if rv.arrived == rv.size {
+		rv.outputs = compute(rv.inputs)
+		rv.arrived = 0
+		rv.inputs = nil
+		rv.leaving = rv.size
+		rv.cond.Broadcast()
+	} else {
+		for rv.leaving == 0 {
+			if w.failed.Load() {
+				panic(worldAborted{})
+			}
+			rv.cond.Wait()
+		}
+	}
+	out := rv.outputs[rank]
+	rv.leaving--
+	if rv.leaving == 0 {
+		rv.cond.Broadcast()
+	}
+	return out
+}
+
+// abortWake is called by World.abort to unblock rendezvous waiters.
+func (rv *rendezvous) abortWake() {
+	rv.mu.Lock()
+	rv.cond.Broadcast()
+	rv.mu.Unlock()
+}
+
+// Barrier synchronizes all ranks of the communicator; clocks advance to the
+// common release time (max entry + a logarithmic software cost).
+func (c *Comm) Barrier() {
+	st := c.state()
+	start := st.clock
+	m := c.Model()
+	out := c.core.rv.exchange(c.core.world, c.rank, collIn{clock: st.clock}, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		steps := math.Ceil(math.Log2(float64(len(ins))))
+		if len(ins) == 1 {
+			steps = 0
+		}
+		t := t0 + steps*(m.HostOverheadColl+m.InterLatency)
+		outs := make([]collOut, len(ins))
+		for i := range outs {
+			outs[i].clock = t
+		}
+		return outs
+	})
+	st.clock = out.clock
+	c.record("MPI_Barrier", start, st.clock, 0)
+}
+
+func maxClock(ins []collIn) float64 {
+	t := math.Inf(-1)
+	for _, in := range ins {
+		if in.clock > t {
+			t = in.clock
+		}
+	}
+	return t
+}
+
+// Bcast broadcasts root's buffer to every rank (binomial tree timing).
+func (c *Comm) Bcast(root int, b Buf) Buf {
+	st := c.state()
+	start := st.clock
+	w := c.core.world
+	m := c.Model()
+	size := c.Size()
+	in := collIn{clock: st.clock}
+	if c.rank == root {
+		in.buf = b.clone()
+	}
+	dev := b.Loc == machine.Device
+	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		steps := math.Ceil(math.Log2(float64(size)))
+		payload := ins[root].buf
+		// Tree step cost: one message of the full payload per level; use the
+		// worst path (inter-node).
+		mc := m.MsgCost(payload.Bytes(), 0, c.WorldRank(root), w.nodes, dev, w.opts.GPUAware, machine.ClassCollective)
+		t := t0 + steps*(mc.PostOverhead+mc.PortTime+mc.Latency) + mc.PreStage + mc.PostStage
+		outs := make([]collOut, size)
+		for i := range outs {
+			outs[i] = collOut{clock: t, buf: payload}
+		}
+		return outs
+	})
+	st.clock = out.clock
+	c.record("MPI_Bcast", start, st.clock, out.buf.Bytes())
+	if c.rank == root {
+		return b
+	}
+	return out.buf.clone()
+}
+
+// ReduceOp selects the Allreduce combiner.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// Allreduce combines one float64 per rank and returns the result everywhere
+// (recursive-doubling timing over 8-byte payloads).
+func (c *Comm) Allreduce(v float64, op ReduceOp) float64 {
+	st := c.state()
+	start := st.clock
+	w := c.core.world
+	m := c.Model()
+	size := c.Size()
+	out := c.core.rv.exchange(w, c.rank, collIn{clock: st.clock, val: v}, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		acc := ins[0].val
+		for _, in := range ins[1:] {
+			switch op {
+			case OpSum:
+				acc += in.val
+			case OpMax:
+				acc = math.Max(acc, in.val)
+			case OpMin:
+				acc = math.Min(acc, in.val)
+			}
+		}
+		steps := math.Ceil(math.Log2(float64(size)))
+		t := t0 + steps*(m.HostOverheadColl+m.InterLatency+8/m.NodeInjectionBW)
+		outs := make([]collOut, size)
+		for i := range outs {
+			outs[i] = collOut{clock: t, val: acc}
+		}
+		return outs
+	})
+	st.clock = out.clock
+	c.record("MPI_Allreduce", start, st.clock, 8)
+	return out.val
+}
+
+// Gatherv collects every rank's buffer at root (returned in rank order at
+// root; nil elsewhere). Timing: all senders inject their buffers toward the
+// root, which drains them through its port sequentially.
+func (c *Comm) Gatherv(root int, b Buf) []Buf {
+	st := c.state()
+	start := st.clock
+	w := c.core.world
+	m := c.Model()
+	size := c.Size()
+	out := c.core.rv.exchange(w, c.rank, collIn{clock: st.clock, buf: b.clone()}, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		rootW := c.WorldRank(root)
+		t := t0
+		recv := make([]Buf, size)
+		for r := 0; r < size; r++ {
+			recv[r] = ins[r].buf
+			if r == root {
+				continue
+			}
+			srcW := c.WorldRank(r)
+			mc := m.MsgCost(ins[r].buf.Bytes(), srcW, rootW, w.nodes, ins[r].buf.Loc == machine.Device, w.opts.GPUAware, machine.ClassCollective)
+			t += mc.PostOverhead + mc.PortTime
+		}
+		t += m.Latency(c.WorldRank((root+1)%size), rootW)
+		outs := make([]collOut, size)
+		for r := range outs {
+			outs[r].clock = t0 + 2*m.HostOverheadColl
+			if r == root {
+				outs[r].clock = t
+				outs[r].recv = recv
+			}
+		}
+		return outs
+	})
+	st.clock = out.clock
+	c.record("MPI_Gatherv", start, st.clock, b.Bytes())
+	return out.recv
+}
+
+// Scatterv distributes root's per-rank buffers (len == comm size at root,
+// ignored elsewhere); each rank receives its slot.
+func (c *Comm) Scatterv(root int, bufs []Buf) Buf {
+	st := c.state()
+	start := st.clock
+	w := c.core.world
+	m := c.Model()
+	size := c.Size()
+	in := collIn{clock: st.clock}
+	if c.rank == root {
+		if len(bufs) != size {
+			panic(fmt.Sprintf("mpisim: Scatterv root has %d buffers for size-%d comm", len(bufs), size))
+		}
+		in.send = make([]Buf, size)
+		for i, b := range bufs {
+			in.send[i] = b.clone()
+		}
+	}
+	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		rootW := c.WorldRank(root)
+		outs := make([]collOut, size)
+		t := t0
+		for r := 0; r < size; r++ {
+			outs[r].buf = ins[root].send[r]
+			if r == root {
+				outs[r].clock = t0
+				continue
+			}
+			dstW := c.WorldRank(r)
+			b := ins[root].send[r]
+			mc := m.MsgCost(b.Bytes(), rootW, dstW, w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassCollective)
+			t += mc.PostOverhead + mc.PortTime
+			outs[r].clock = t + mc.Latency
+		}
+		outs[root].clock = t
+		return outs
+	})
+	st.clock = out.clock
+	c.record("MPI_Scatterv", start, st.clock, out.buf.Bytes())
+	if c.rank == root {
+		return bufs[root]
+	}
+	return out.buf.clone()
+}
+
+// alltoallKind distinguishes the three All-to-All flavours of Table I.
+type alltoallKind int
+
+const (
+	kindAlltoall alltoallKind = iota
+	kindAlltoallv
+	kindAlltoallw
+)
+
+func (k alltoallKind) name() string {
+	switch k {
+	case kindAlltoall:
+		return "MPI_Alltoall"
+	case kindAlltoallv:
+		return "MPI_Alltoallv"
+	default:
+		return "MPI_Alltoallw"
+	}
+}
+
+// Alltoall exchanges send[dst] → recv[src] with MPI_Alltoall semantics: all
+// blocks are padded to the maximum block size in the communicator (the
+// padding cost the paper observes on brick↔pencil reshapes, Figs. 2 and 6),
+// in exchange for the most optimized vendor algorithm.
+func (c *Comm) Alltoall(send []Buf) []Buf { return c.alltoall(send, kindAlltoall) }
+
+// Alltoallv exchanges exact per-pair sizes with the optimized collective
+// path.
+func (c *Comm) Alltoallv(send []Buf) []Buf { return c.alltoall(send, kindAlltoallv) }
+
+// Alltoallw models the generalized all-to-all on derived sub-array datatypes
+// used by Algorithm 2 (Dalcin et al.): a naive Isend/Irecv loop with high
+// per-message setup, and — on SpectrumMPI-like stacks — no GPU-awareness, so
+// device buffers stage through PCIe per message.
+func (c *Comm) Alltoallw(send []Buf) []Buf { return c.alltoall(send, kindAlltoallw) }
+
+func (c *Comm) alltoall(send []Buf, kind alltoallKind) []Buf {
+	size := c.Size()
+	if len(send) != size {
+		panic(fmt.Sprintf("mpisim: %s send slice has %d entries for size-%d comm", kind.name(), len(send), size))
+	}
+	st := c.state()
+	start := st.clock
+	w := c.core.world
+	m := c.Model()
+
+	in := collIn{clock: st.clock, send: make([]Buf, size)}
+	for i, b := range send {
+		in.send[i] = b.clone()
+	}
+	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		outs := make([]collOut, size)
+
+		// Determine padding for MPI_Alltoall: every block is the max block.
+		pad := 0
+		if kind == kindAlltoall {
+			for _, inp := range ins {
+				for _, b := range inp.send {
+					if b.Bytes() > pad {
+						pad = b.Bytes()
+					}
+				}
+			}
+		}
+
+		for r := 0; r < size; r++ {
+			srcW := c.WorldRank(r)
+			dev := false
+			var totalSend, totalRecv int
+			for _, b := range ins[r].send {
+				if b.Loc == machine.Device {
+					dev = true
+				}
+				totalSend += b.Bytes()
+			}
+			for s := 0; s < size; s++ {
+				totalRecv += ins[s].send[r].Bytes()
+			}
+
+			var t float64
+			switch kind {
+			case kindAlltoall, kindAlltoallv:
+				staged := dev && !w.opts.GPUAware
+				// Bulk staging: heFFTe's -no-gpu-aware path copies the whole
+				// packed buffer to the host once, calls the host collective,
+				// and copies the result back.
+				if staged {
+					t += 2*m.StagingOverhead +
+						(1-m.StagingOverlap)*(float64(totalSend)/m.PCIeBW+float64(totalRecv)/m.PCIeBW)
+				}
+				oh := m.HostOverheadColl
+				if dev && !staged {
+					oh = m.DeviceOverheadColl
+				}
+				for dst := 0; dst < size; dst++ {
+					if dst == r {
+						// Self block: a device-local copy.
+						t += float64(ins[r].send[dst].Bytes()) * 2 / m.GPU.MemBW
+						continue
+					}
+					bytes := ins[r].send[dst].Bytes()
+					if kind == kindAlltoall {
+						// MPI_Alltoall pads every pair to the max block.
+						bytes = pad
+					} else if bytes == 0 {
+						// MPI_Alltoallv short-circuits zero-size blocks.
+						continue
+					}
+					dstW := c.WorldRank(dst)
+					t += oh + float64(bytes)/m.FlowBW(srcW, dstW, w.nodes) + m.Latency(srcW, dstW)
+				}
+			case kindAlltoallw:
+				// Naive per-message loop with derived datatypes; staging (if
+				// any) happens per message inside MsgCost. Zero-size blocks
+				// are short-circuited by MPI.
+				for dst := 0; dst < size; dst++ {
+					if dst == r {
+						t += float64(ins[r].send[dst].Bytes()) * 2 / m.GPU.MemBW
+						continue
+					}
+					if ins[r].send[dst].Bytes() == 0 {
+						continue
+					}
+					dstW := c.WorldRank(dst)
+					mc := m.MsgCost(ins[r].send[dst].Bytes(), srcW, dstW, w.nodes, dev, w.opts.GPUAware, machine.ClassAlltoallw)
+					t += mc.Total()
+				}
+			}
+
+			recv := make([]Buf, size)
+			for s := 0; s < size; s++ {
+				recv[s] = ins[s].send[r]
+			}
+			outs[r] = collOut{clock: t0 + t, recv: recv}
+		}
+		return outs
+	})
+	st.clock = out.clock
+	var bytes int
+	for _, b := range send {
+		bytes += b.Bytes()
+	}
+	c.record(kind.name(), start, st.clock, bytes)
+	return out.recv
+}
+
+// Split partitions the communicator like MPI_Comm_split: ranks with the same
+// color form a new communicator, ordered by (key, rank). Ranks passing a
+// negative color receive nil.
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct {
+		color, key, rank int
+	}
+	st := c.state()
+	w := c.core.world
+	// The color travels in the val field and the key in the phantom buffer's
+	// element count.
+	in := collIn{clock: st.clock, val: float64(color), buf: Buf{N: key}}
+	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		// Group by color.
+		groups := map[int][]entry{}
+		for r, inp := range ins {
+			col := int(inp.val)
+			if col < 0 {
+				continue
+			}
+			groups[col] = append(groups[col], entry{color: col, key: inp.buf.N, rank: r})
+		}
+		cores := map[int]*commCore{}
+		newRank := make([]int, len(ins))
+		for col, es := range groups {
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].key != es[j].key {
+					return es[i].key < es[j].key
+				}
+				return es[i].rank < es[j].rank
+			})
+			worldRanks := make([]int, len(es))
+			for i, e := range es {
+				worldRanks[i] = c.WorldRank(e.rank)
+				newRank[e.rank] = i
+			}
+			cores[col] = w.newComm(worldRanks)
+		}
+		outs := make([]collOut, len(ins))
+		for r, inp := range ins {
+			col := int(inp.val)
+			outs[r].clock = t0 + 2*c.Model().HostOverheadColl
+			if col >= 0 {
+				outs[r].splitCore = cores[col]
+				outs[r].splitRank = newRank[r]
+			}
+		}
+		return outs
+	})
+	st.clock = out.clock
+	if out.splitCore == nil {
+		return nil
+	}
+	return &Comm{core: out.splitCore, rank: out.splitRank}
+}
+
+// Dup returns a communicator with the same group but separate matching
+// space (a fresh context id), as MPI_Comm_dup.
+func (c *Comm) Dup() *Comm {
+	return c.Split(0, c.rank)
+}

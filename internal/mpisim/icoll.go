@@ -1,0 +1,119 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// CollRequest is the handle of a non-blocking collective (MPI_Ialltoallv),
+// the mechanism behind the asynchronous communication/computation overlap
+// explored by the turbulence and GPUDirect studies the paper cites ([28],
+// [34], [35]): a rank posts the exchange, computes, and only pays the
+// remaining communication time at Wait.
+type CollRequest struct {
+	comm       *Comm
+	completeAt float64
+	recv       []Buf
+	done       bool
+	bytes      int
+}
+
+// Ialltoallv posts a non-blocking all-to-all-v. The exchange is scheduled
+// immediately (its completion time is computed exactly as Alltoallv's), but
+// the caller's clock only advances by the posting overhead; the rest of the
+// communication runs "in the background" and is charged at Wait, where it
+// overlaps whatever local work the rank performed in between.
+//
+// Note: posting synchronizes in *real* time with the other ranks (they must
+// all reach the post), but virtual time keeps the overlap semantics — the
+// returned request completes at the same virtual instant the blocking
+// Alltoallv would have returned.
+func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
+	size := c.Size()
+	if len(send) != size {
+		panic(fmt.Sprintf("mpisim: Ialltoallv send slice has %d entries for size-%d comm", len(send), size))
+	}
+	st := c.state()
+	start := st.clock
+	w := c.core.world
+	m := c.Model()
+
+	in := collIn{clock: st.clock, send: make([]Buf, size)}
+	totalBytes := 0
+	for i, b := range send {
+		in.send[i] = b.clone()
+		totalBytes += b.Bytes()
+	}
+	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
+		t0 := maxClock(ins)
+		outs := make([]collOut, size)
+		for r := 0; r < size; r++ {
+			srcW := c.WorldRank(r)
+			dev := false
+			var totalSend, totalRecv int
+			for _, b := range ins[r].send {
+				if b.Loc == machine.Device {
+					dev = true
+				}
+				totalSend += b.Bytes()
+			}
+			for s := 0; s < size; s++ {
+				totalRecv += ins[s].send[r].Bytes()
+			}
+			var t float64
+			staged := dev && !w.opts.GPUAware
+			if staged {
+				t += 2*m.StagingOverhead +
+					(1-m.StagingOverlap)*(float64(totalSend)/m.PCIeBW+float64(totalRecv)/m.PCIeBW)
+			}
+			oh := m.HostOverheadColl
+			if dev && !staged {
+				oh = m.DeviceOverheadColl
+			}
+			for dst := 0; dst < size; dst++ {
+				if dst == r {
+					t += float64(ins[r].send[dst].Bytes()) * 2 / m.GPU.MemBW
+					continue
+				}
+				bytes := ins[r].send[dst].Bytes()
+				if bytes == 0 {
+					continue
+				}
+				dstW := c.WorldRank(dst)
+				t += oh + float64(bytes)/m.FlowBW(srcW, dstW, w.nodes) + m.Latency(srcW, dstW)
+			}
+			recv := make([]Buf, size)
+			for s := 0; s < size; s++ {
+				recv[s] = ins[s].send[r]
+			}
+			outs[r] = collOut{clock: t0 + t, recv: recv}
+		}
+		return outs
+	})
+	// Post cost only; the bulk completes at Wait.
+	post := m.HostOverheadColl
+	st.clock += post
+	c.record("MPI_Ialltoallv", start, st.clock, totalBytes)
+	return &CollRequest{comm: c, completeAt: out.clock, recv: out.recv, bytes: totalBytes}
+}
+
+// WaitColl completes a non-blocking collective, advancing the clock to the
+// exchange's completion (or not at all if local work already covered it) and
+// returning the received buffers.
+func (c *Comm) WaitColl(r *CollRequest) []Buf {
+	if r.done {
+		panic("mpisim: WaitColl on completed request")
+	}
+	if r.comm.core != c.core || r.comm.rank != c.rank {
+		panic("mpisim: WaitColl on another rank's request")
+	}
+	st := c.state()
+	start := st.clock
+	if r.completeAt > st.clock {
+		st.clock = r.completeAt
+	}
+	r.done = true
+	c.record("MPI_Wait(coll)", start, st.clock, r.bytes)
+	return r.recv
+}

@@ -1,0 +1,252 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// AnySource and AnyTag are wildcards for Recv/Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Request is the handle of a non-blocking operation, completed by Wait,
+// Waitany or Waitall.
+type Request struct {
+	comm *Comm
+	// isend requests:
+	isSend     bool
+	completeAt float64
+	sendBytes  int
+	// irecv requests:
+	src, tag int
+	msg      *message
+	done     bool
+}
+
+// Done reports whether the request has already been completed by a Wait
+// call.
+func (r *Request) Done() bool { return r.done }
+
+// postSend computes the cost of a message, books the sender's port, deposits
+// the message in the destination mailbox, and returns the virtual time at
+// which the sender's participation ends (port drained).
+func (c *Comm) postSend(dst, tag int, b Buf) (portDone float64, cost float64) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpisim: send to invalid rank %d (size %d)", dst, c.Size()))
+	}
+	w := c.core.world
+	w.checkFailed()
+	st := c.state()
+	srcW, dstW := c.WorldRank(c.rank), c.WorldRank(dst)
+	mc := w.model.MsgCost(b.Bytes(), srcW, dstW, w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassP2P)
+
+	st.clock += mc.PostOverhead + mc.PreStage
+	start := math.Max(st.clock, st.portFreeAt)
+	st.portFreeAt = start + mc.PortTime
+
+	m := &message{
+		commID:       c.core.id,
+		src:          c.rank,
+		tag:          tag,
+		buf:          b.clone(),
+		arrival:      st.portFreeAt + mc.Latency,
+		postStage:    mc.PostStage,
+		recvOverhead: mc.RecvOverhead,
+	}
+	mb := w.mail[dstW]
+	mb.mu.Lock()
+	mb.msgs = append(mb.msgs, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	return st.portFreeAt, mc.Total()
+}
+
+// Send is a blocking standard-mode send: the caller's clock advances until
+// its injection port has drained the message (buffer reusable).
+func (c *Comm) Send(dst, tag int, b Buf) {
+	st := c.state()
+	start := st.clock
+	portDone, _ := c.postSend(dst, tag, b)
+	if portDone > st.clock {
+		st.clock = portDone
+	}
+	c.record("MPI_Send", start, st.clock, b.Bytes())
+}
+
+// Isend is a non-blocking send; the returned request completes (buffer
+// reusable) when the port drains. Payload data is copied eagerly, so the
+// caller may overwrite its buffer immediately in real time — virtual-time
+// semantics still charge the port at Wait.
+func (c *Comm) Isend(dst, tag int, b Buf) *Request {
+	st := c.state()
+	start := st.clock
+	portDone, _ := c.postSend(dst, tag, b)
+	c.record("MPI_Isend", start, st.clock, b.Bytes())
+	return &Request{comm: c, isSend: true, completeAt: portDone, sendBytes: b.Bytes()}
+}
+
+// Irecv posts a non-blocking receive for a matching message. src and tag may
+// be AnySource/AnyTag.
+func (c *Comm) Irecv(src, tag int) *Request {
+	st := c.state()
+	// Posting a receive costs a small fixed software overhead.
+	oh := c.Model().HostOverheadP2P / 4
+	c.record("MPI_Irecv", st.clock, st.clock+oh, 0)
+	st.clock += oh
+	return &Request{comm: c, src: src, tag: tag}
+}
+
+// Recv blocks until a matching message arrives and returns its payload.
+func (c *Comm) Recv(src, tag int) Buf {
+	st := c.state()
+	start := st.clock
+	m := c.claim(src, tag)
+	c.completeRecv(m)
+	c.record("MPI_Recv", start, st.clock, m.buf.Bytes())
+	return m.buf
+}
+
+// claim blocks (in real time) until a message matching (src, tag) on this
+// communicator is available, removes it from the mailbox and returns it.
+// Messages from the same source match in post order (MPI ordering).
+func (c *Comm) claim(src, tag int) *message {
+	w := c.core.world
+	mb := w.mail[c.WorldRank(c.rank)]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if w.failed.Load() {
+			panic(worldAborted{})
+		}
+		for _, m := range mb.msgs {
+			if m.claimed || m.commID != c.core.id {
+				continue
+			}
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				m.claimed = true
+				c.compact(mb)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// compact drops claimed messages from the front of the mailbox queue.
+func (c *Comm) compact(mb *mailbox) {
+	i := 0
+	for i < len(mb.msgs) && mb.msgs[i].claimed {
+		i++
+	}
+	if i > 0 {
+		mb.msgs = append([]*message(nil), mb.msgs[i:]...)
+	}
+}
+
+// completeRecv advances the receiver clock for a claimed message.
+func (c *Comm) completeRecv(m *message) {
+	st := c.state()
+	if m.arrival > st.clock {
+		st.clock = m.arrival
+	}
+	st.clock += m.postStage + m.recvOverhead
+}
+
+// Wait completes a request. For receives it returns the received payload.
+func (c *Comm) Wait(r *Request) Buf {
+	st := c.state()
+	start := st.clock
+	if r.done {
+		panic("mpisim: Wait on completed request")
+	}
+	if r.isSend {
+		if r.completeAt > st.clock {
+			st.clock = r.completeAt
+		}
+		r.done = true
+		c.record("MPI_Wait(send)", start, st.clock, r.sendBytes)
+		return Buf{}
+	}
+	if r.msg == nil {
+		r.msg = c.claim(r.src, r.tag)
+	}
+	c.completeRecv(r.msg)
+	r.done = true
+	c.record("MPI_Wait(recv)", start, st.clock, r.msg.buf.Bytes())
+	return r.msg.buf
+}
+
+// Waitany completes exactly one of the pending requests — the one with the
+// earliest virtual completion — and returns its index and payload. To keep
+// virtual time deterministic under arbitrary Go scheduling, it first ensures
+// every pending receive has a matched message (senders never block in real
+// time, so this cannot deadlock), then picks the true earliest.
+func (c *Comm) Waitany(reqs []*Request) (int, Buf) {
+	st := c.state()
+	start := st.clock
+	best := -1
+	bestT := math.Inf(1)
+	for i, r := range reqs {
+		if r == nil || r.done {
+			continue
+		}
+		var t float64
+		if r.isSend {
+			t = r.completeAt
+		} else {
+			if r.msg == nil {
+				r.msg = c.claim(r.src, r.tag)
+			}
+			t = r.msg.arrival
+		}
+		if t < bestT {
+			bestT = t
+			best = i
+		}
+	}
+	if best < 0 {
+		panic("mpisim: Waitany with no pending requests")
+	}
+	r := reqs[best]
+	r.done = true
+	if r.isSend {
+		if r.completeAt > st.clock {
+			st.clock = r.completeAt
+		}
+		c.record("MPI_Waitany", start, st.clock, r.sendBytes)
+		return best, Buf{}
+	}
+	c.completeRecv(r.msg)
+	c.record("MPI_Waitany", start, st.clock, r.msg.buf.Bytes())
+	return best, r.msg.buf
+}
+
+// Waitall completes all pending requests and returns the receive payloads
+// (zero Buf at send-request indices).
+func (c *Comm) Waitall(reqs []*Request) []Buf {
+	out := make([]Buf, len(reqs))
+	pending := 0
+	for _, r := range reqs {
+		if r != nil && !r.done {
+			pending++
+		}
+	}
+	for ; pending > 0; pending-- {
+		i, b := c.Waitany(reqs)
+		out[i] = b
+	}
+	return out
+}
+
+// Sendrecv exchanges messages with possibly different partners, as
+// MPI_Sendrecv: the send and receive progress concurrently.
+func (c *Comm) Sendrecv(dst, sendTag int, b Buf, src, recvTag int) Buf {
+	sreq := c.Isend(dst, sendTag, b)
+	rbuf := c.Recv(src, recvTag)
+	c.Wait(sreq)
+	return rbuf
+}

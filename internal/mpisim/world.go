@@ -1,0 +1,348 @@
+// Package mpisim is an in-process, virtual-time message-passing library with
+// MPI-like semantics. It plays the role SpectrumMPI/MVAPICH play in the
+// paper.
+//
+// Ranks are goroutines. Payload bytes really move between ranks, so the
+// distributed FFT built on top is numerically exact; *time* does not come
+// from the wall clock but from a per-rank virtual clock advanced according to
+// the machine model (internal/machine): every message pays a software posting
+// overhead, serializes through its sender's injection port, and arrives one
+// latency later; device buffers without GPU-aware MPI stage through PCIe.
+//
+// Virtual timings are deterministic: they depend only on the per-rank order
+// of operations and the matching of messages, never on the Go scheduler.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// Buf is a message payload living on the host or on the device. Most
+// transfers carry double-complex elements (16 bytes each, the datatype of
+// the paper's transforms); real-to-complex input reshapes carry float64
+// elements (8 bytes each), which is exactly why R2C halves the communication
+// volume. In phantom mode both slices are nil and only the element count N
+// is carried, so paper-scale runs do not allocate real arrays; all timing is
+// identical because costs depend only on sizes and locations.
+type Buf struct {
+	Data []complex128
+	Real []float64 // real payload; mutually exclusive with Data
+	N    int       // element count when Data and Real are nil (phantom mode)
+	// PhantomReal marks a phantom buffer as real-valued (8 bytes/element).
+	PhantomReal bool
+	Loc         machine.Location
+}
+
+// Elems reports the number of elements in the buffer.
+func (b Buf) Elems() int {
+	switch {
+	case b.Data != nil:
+		return len(b.Data)
+	case b.Real != nil:
+		return len(b.Real)
+	default:
+		return b.N
+	}
+}
+
+// Bytes reports the payload size in bytes (16 per complex element, 8 per
+// real element).
+func (b Buf) Bytes() int {
+	if b.Real != nil || (b.Data == nil && b.PhantomReal) {
+		return 8 * b.Elems()
+	}
+	return 16 * b.Elems()
+}
+
+// Phantom reports whether the buffer carries no real data.
+func (b Buf) Phantom() bool { return b.Data == nil && b.Real == nil }
+
+// clone returns a deep copy so senders may reuse their buffers immediately,
+// matching MPI buffer semantics.
+func (b Buf) clone() Buf {
+	switch {
+	case b.Data != nil:
+		d := make([]complex128, len(b.Data))
+		copy(d, b.Data)
+		return Buf{Data: d, Loc: b.Loc}
+	case b.Real != nil:
+		d := make([]float64, len(b.Real))
+		copy(d, b.Real)
+		return Buf{Real: d, Loc: b.Loc}
+	default:
+		return b
+	}
+}
+
+// Options configures a World.
+type Options struct {
+	// GPUAware enables GPU-aware MPI transfers (device buffers move without
+	// PCIe staging where the MPI stack supports it). Mirrors heFFTe's
+	// -no-gpu-aware flag when false.
+	GPUAware bool
+	// Tracer, when non-nil, records one event per MPI call and per GPU
+	// kernel.
+	Tracer *trace.Tracer
+}
+
+// World owns the ranks of one simulated job.
+type World struct {
+	model  *machine.Model
+	size   int
+	nodes  int
+	opts   Options
+	states []*rankState
+	mail   []*mailbox
+
+	failed atomic.Bool
+	panicV atomic.Value // first panic payload
+
+	commIDs atomic.Int64
+
+	rvMu sync.Mutex
+	rvs  []*rendezvous // all rendezvous, woken on abort
+
+	shared sync.Map // key → *sharedSlot: once-per-world memoized values
+}
+
+// sharedSlot backs World.Shared.
+type sharedSlot struct {
+	once sync.Once
+	val  any
+}
+
+// Shared memoizes a deterministic computation across ranks: the first caller
+// of a key computes, everyone else reuses the result. Collective plan
+// construction uses this to avoid repeating O(size²) analyses on every rank
+// (compute must be a pure function of inputs identical on all ranks, e.g.
+// keyed by a content hash).
+func (w *World) Shared(key string, compute func() any) any {
+	v, _ := w.shared.LoadOrStore(key, &sharedSlot{})
+	s := v.(*sharedSlot)
+	s.once.Do(func() { s.val = compute() })
+	return s.val
+}
+
+// rankState is the virtual-time state of one world rank; it is touched only
+// by the owning goroutine (collectives exchange snapshots by value).
+type rankState struct {
+	clock      float64 // virtual now
+	portFreeAt float64 // injection port busy-until
+}
+
+type message struct {
+	commID int64
+	src    int // comm-local source rank
+	tag    int
+	buf    Buf
+	// Receiver-side timing computed at post time.
+	arrival      float64
+	postStage    float64
+	recvOverhead float64
+	claimed      bool
+}
+
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []*message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// NewWorld creates a job of the given size on the given machine.
+func NewWorld(m *machine.Model, size int, opts Options) *World {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if size < 1 {
+		panic(fmt.Sprintf("mpisim: invalid world size %d", size))
+	}
+	w := &World{
+		model:  m,
+		size:   size,
+		nodes:  m.Nodes(size),
+		opts:   opts,
+		states: make([]*rankState, size),
+		mail:   make([]*mailbox, size),
+	}
+	for i := range w.states {
+		w.states[i] = &rankState{}
+		w.mail[i] = newMailbox()
+	}
+	return w
+}
+
+// Model returns the machine model of the world.
+func (w *World) Model() *machine.Model { return w.model }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Nodes returns the number of nodes the job spans.
+func (w *World) Nodes() int { return w.nodes }
+
+// Result summarizes a Run.
+type Result struct {
+	// Clocks holds each rank's final virtual time.
+	Clocks []float64
+	// MaxClock is the job's virtual makespan.
+	MaxClock float64
+}
+
+// Run executes f once per rank, each on its own goroutine with a handle to
+// the world communicator, and returns the final virtual clocks. A World can
+// be Run only once (create a new World per experiment repetition; clocks
+// start at zero).
+func (w *World) Run(f func(c *Comm)) Result {
+	wc := w.newWorldComm()
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					w.abort(p)
+				}
+			}()
+			f(&Comm{core: wc, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	if p := w.panicV.Load(); p != nil {
+		panic(fmt.Sprintf("mpisim: rank panicked: %v", p.(*panicBox).v))
+	}
+	res := Result{Clocks: make([]float64, w.size)}
+	for i, st := range w.states {
+		res.Clocks[i] = st.clock
+		if st.clock > res.MaxClock {
+			res.MaxClock = st.clock
+		}
+	}
+	return res
+}
+
+// abort marks the world failed and wakes every blocked waiter so the whole
+// job tears down with a diagnostic instead of hanging.
+func (w *World) abort(p any) {
+	if _, secondary := p.(worldAborted); !secondary {
+		w.panicV.CompareAndSwap(nil, &panicBox{p})
+	}
+	w.failed.Store(true)
+	for _, mb := range w.mail {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	w.rvMu.Lock()
+	rvs := append([]*rendezvous(nil), w.rvs...)
+	w.rvMu.Unlock()
+	for _, rv := range rvs {
+		rv.abortWake()
+	}
+}
+
+func (w *World) checkFailed() {
+	if w.failed.Load() {
+		panic(worldAborted{})
+	}
+}
+
+// panicBox wraps arbitrary panic payloads so atomic.Value sees one type.
+type panicBox struct{ v any }
+
+// worldAborted is the secondary panic raised on ranks unblocked by abort.
+type worldAborted struct{}
+
+func (worldAborted) String() string { return "world aborted by another rank's panic" }
+
+// commCore is the state shared by all rank handles of one communicator.
+type commCore struct {
+	world *World
+	id    int64
+	// worldRanks[i] is the world rank of comm rank i.
+	worldRanks []int
+	rv         *rendezvous
+}
+
+func (w *World) newWorldComm() *commCore {
+	ranks := make([]int, w.size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return w.newComm(ranks)
+}
+
+func (w *World) newComm(worldRanks []int) *commCore {
+	rv := newRendezvous(len(worldRanks))
+	w.rvMu.Lock()
+	w.rvs = append(w.rvs, rv)
+	w.rvMu.Unlock()
+	return &commCore{
+		world:      w,
+		id:         w.commIDs.Add(1),
+		worldRanks: worldRanks,
+		rv:         rv,
+	}
+}
+
+// Comm is one rank's handle on a communicator. Handles are cheap values; all
+// methods must be called only from the owning rank's goroutine.
+type Comm struct {
+	core *commCore
+	rank int
+}
+
+// Rank returns the calling rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.core.worldRanks) }
+
+// WorldRank translates a comm rank to its world rank.
+func (c *Comm) WorldRank(r int) int { return c.core.worldRanks[r] }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.core.world }
+
+// Model returns the machine model.
+func (c *Comm) Model() *machine.Model { return c.core.world.model }
+
+// GPUAware reports whether GPU-aware MPI is enabled for this job.
+func (c *Comm) GPUAware() bool { return c.core.world.opts.GPUAware }
+
+// Tracer returns the world's tracer (possibly nil).
+func (c *Comm) Tracer() *trace.Tracer { return c.core.world.opts.Tracer }
+
+func (c *Comm) state() *rankState {
+	return c.core.world.states[c.core.worldRanks[c.rank]]
+}
+
+// Clock returns the rank's current virtual time in seconds.
+func (c *Comm) Clock() float64 { return c.state().clock }
+
+// Advance adds dt seconds of local work (e.g. a GPU kernel) to the rank's
+// virtual clock.
+func (c *Comm) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("mpisim: negative Advance(%g)", dt))
+	}
+	c.state().clock += dt
+}
+
+// record emits a trace event for this rank.
+func (c *Comm) record(name string, start, end float64, bytes int) {
+	c.Tracer().Record(trace.Event{
+		Rank: c.core.worldRanks[c.rank], Name: name, Start: start, End: end, Bytes: bytes,
+	})
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %g", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Errorf("even Median = %g", Median([]float64{1, 2, 3, 4}))
+	}
+	if math.Abs(Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})-2.138089935299395) > 1e-12 {
+		t.Errorf("Stddev = %g", Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 || Stddev(nil) != 0 {
+		t.Error("empty-input helpers should return 0")
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMinMaxMedianBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		med := Median(xs)
+		return Min(xs) <= med && med <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGflops(t *testing.T) {
+	if Gflops(2e9, 1) != 2 {
+		t.Errorf("Gflops = %g", Gflops(2e9, 1))
+	}
+	if Gflops(1, 0) != 0 {
+		t.Error("zero time should yield 0")
+	}
+}
+
+func TestFFTFlops(t *testing.T) {
+	n := 512 * 512 * 512
+	want := 5 * float64(n) * 27
+	if math.Abs(FFTFlops(n)-want) > 1 {
+		t.Errorf("FFTFlops = %g, want %g", FFTFlops(n), want)
+	}
+	if FFTFlops(1) != 0 {
+		t.Error("FFTFlops(1) should be 0")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		4.2e-8:  "ns",
+		1.5e-5:  "µs",
+		2.3e-3:  "ms",
+		0.123:   "ms",
+		1.5:     "s",
+		97.0341: "s",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); !strings.Contains(got, want) {
+			t.Errorf("FormatSeconds(%g) = %q, want unit %q", in, got, want)
+		}
+	}
+	if got := FormatBandwidth(23.5e9); !strings.Contains(got, "GB/s") {
+		t.Errorf("FormatBandwidth = %q", got)
+	}
+	if got := FormatBandwidth(5e6); !strings.Contains(got, "MB/s") {
+		t.Errorf("FormatBandwidth = %q", got)
+	}
+	if got := FormatBandwidth(100); !strings.Contains(got, "B/s") {
+		t.Errorf("FormatBandwidth = %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import "fmt"
+
+// Pack copies the points of sub (which must lie inside own) from the local
+// array src (laid out for box own) into the contiguous buffer dst, enumerated
+// in global row-major order of sub. dst must have length sub.Volume(). It is
+// generic so both complex grids and real (float64) grids — the input of
+// real-to-complex transforms, which travel at half the bytes — share one
+// implementation.
+//
+// This is the CPU realization of the GPU packing kernels of Algorithm 1
+// ("Pack data in contiguous memory"); its device cost is modelled by
+// internal/gpu.
+func Pack[T any](src []T, own, sub Box3, dst []T) {
+	checkPackArgs(len(src), own, sub, len(dst))
+	if sub.Empty() {
+		return
+	}
+	s2 := sub.Size(2)
+	k := 0
+	for i0 := sub.Lo[0]; i0 < sub.Hi[0]; i0++ {
+		for i1 := sub.Lo[1]; i1 < sub.Hi[1]; i1++ {
+			base := own.Index(i0, i1, sub.Lo[2])
+			copy(dst[k:k+s2], src[base:base+s2])
+			k += s2
+		}
+	}
+}
+
+// Unpack is the inverse of Pack: it scatters the contiguous buffer src
+// (enumerating sub in global row-major order) into the local array dst laid
+// out for box own.
+func Unpack[T any](dst []T, own, sub Box3, src []T) {
+	checkPackArgs(len(dst), own, sub, len(src))
+	if sub.Empty() {
+		return
+	}
+	s2 := sub.Size(2)
+	k := 0
+	for i0 := sub.Lo[0]; i0 < sub.Hi[0]; i0++ {
+		for i1 := sub.Lo[1]; i1 < sub.Hi[1]; i1++ {
+			base := own.Index(i0, i1, sub.Lo[2])
+			copy(dst[base:base+s2], src[k:k+s2])
+			k += s2
+		}
+	}
+}
+
+func checkPackArgs(localLen int, own, sub Box3, bufLen int) {
+	if !own.ContainsBox(sub) {
+		panic(fmt.Sprintf("tensor: sub-box %v not inside own box %v", sub, own))
+	}
+	if localLen != own.Volume() {
+		panic(fmt.Sprintf("tensor: local array length %d != own volume %d", localLen, own.Volume()))
+	}
+	if bufLen != sub.Volume() {
+		panic(fmt.Sprintf("tensor: buffer length %d != sub volume %d", bufLen, sub.Volume()))
+	}
+}
+
+// Reorder copies the points of box b from a local array laid out with the
+// default axis order into dst laid out with axes permuted so that perm[2] is
+// contiguous. It is used by the "transposed/contiguous" local-FFT path, where
+// data is reorganized so the FFT axis has unit stride. perm must be a
+// permutation of {0,1,2}.
+func Reorder(src []complex128, b Box3, perm [3]int, dst []complex128) {
+	if len(src) != b.Volume() || len(dst) != b.Volume() {
+		panic(fmt.Sprintf("tensor: Reorder length mismatch src=%d dst=%d vol=%d", len(src), len(dst), b.Volume()))
+	}
+	checkPerm(perm)
+	s := b.Sizes()
+	// dst index = ((j0·sp1)+j1)·sp2 + j2 where jk enumerates axis perm[k].
+	sp1, sp2 := s[perm[1]], s[perm[2]]
+	var idx [3]int
+	k0 := 0
+	for j0 := 0; j0 < s[perm[0]]; j0++ {
+		idx[perm[0]] = j0
+		k1 := k0
+		for j1 := 0; j1 < sp1; j1++ {
+			idx[perm[1]] = j1
+			k2 := k1
+			for j2 := 0; j2 < sp2; j2++ {
+				idx[perm[2]] = j2
+				dst[k2] = src[(idx[0]*s[1]+idx[1])*s[2]+idx[2]]
+				k2++
+			}
+			k1 += sp2
+		}
+		k0 += sp1 * sp2
+	}
+}
+
+// ReorderBack is the inverse of Reorder: it scatters dst-ordered data back to
+// the default axis order.
+func ReorderBack(src []complex128, b Box3, perm [3]int, dst []complex128) {
+	if len(src) != b.Volume() || len(dst) != b.Volume() {
+		panic(fmt.Sprintf("tensor: ReorderBack length mismatch src=%d dst=%d vol=%d", len(src), len(dst), b.Volume()))
+	}
+	checkPerm(perm)
+	s := b.Sizes()
+	sp1, sp2 := s[perm[1]], s[perm[2]]
+	var idx [3]int
+	k := 0
+	for j0 := 0; j0 < s[perm[0]]; j0++ {
+		idx[perm[0]] = j0
+		for j1 := 0; j1 < sp1; j1++ {
+			idx[perm[1]] = j1
+			for j2 := 0; j2 < sp2; j2++ {
+				idx[perm[2]] = j2
+				dst[(idx[0]*s[1]+idx[1])*s[2]+idx[2]] = src[k]
+				k++
+			}
+		}
+	}
+}
+
+func checkPerm(perm [3]int) {
+	seen := [3]bool{}
+	for _, p := range perm {
+		if p < 0 || p > 2 || seen[p] {
+			panic(fmt.Sprintf("tensor: invalid axis permutation %v", perm))
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,346 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(1, 2, 3, 4, 6, 9)
+	if got := b.Sizes(); got != [3]int{3, 4, 6} {
+		t.Errorf("Sizes = %v, want [3 4 6]", got)
+	}
+	if b.Volume() != 72 {
+		t.Errorf("Volume = %d, want 72", b.Volume())
+	}
+	if b.Empty() {
+		t.Error("box should not be empty")
+	}
+	if !b.Contains(1, 2, 3) || b.Contains(4, 2, 3) || b.Contains(0, 2, 3) {
+		t.Error("Contains misclassifies boundary points")
+	}
+	if b.Surface() != 2*(3*4+4*6+3*6) {
+		t.Errorf("Surface = %d", b.Surface())
+	}
+}
+
+func TestBoxIndexRowMajor(t *testing.T) {
+	b := NewBox(2, 3, 4, 5, 7, 10)
+	want := 0
+	for i0 := b.Lo[0]; i0 < b.Hi[0]; i0++ {
+		for i1 := b.Lo[1]; i1 < b.Hi[1]; i1++ {
+			for i2 := b.Lo[2]; i2 < b.Hi[2]; i2++ {
+				if got := b.Index(i0, i1, i2); got != want {
+					t.Fatalf("Index(%d,%d,%d) = %d, want %d", i0, i1, i2, got, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewBox(0, 0, 0, 4, 4, 4)
+	b := NewBox(2, 2, 2, 6, 6, 6)
+	got := Intersect(a, b)
+	if !got.Equal(NewBox(2, 2, 2, 4, 4, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	// Disjoint boxes intersect to empty.
+	c := NewBox(10, 10, 10, 12, 12, 12)
+	if !Intersect(a, c).Empty() {
+		t.Error("disjoint intersection not empty")
+	}
+}
+
+// Property: intersection is commutative, contained in both operands, and
+// idempotent.
+func TestIntersectProperties(t *testing.T) {
+	gen := func(seed int64) (Box3, Box3) {
+		rng := rand.New(rand.NewSource(seed))
+		rb := func() Box3 {
+			var b Box3
+			for d := 0; d < 3; d++ {
+				b.Lo[d] = rng.Intn(10)
+				b.Hi[d] = b.Lo[d] + rng.Intn(10)
+			}
+			return b
+		}
+		return rb(), rb()
+	}
+	f := func(seed int64) bool {
+		a, b := gen(seed)
+		ab := Intersect(a, b)
+		ba := Intersect(b, a)
+		return ab.Equal(ba) &&
+			a.ContainsBox(ab) && b.ContainsBox(ab) &&
+			Intersect(ab, ab).Equal(ab) &&
+			Intersect(a, a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkCoversExactly(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for p := 1; p <= 10; p++ {
+			prev := 0
+			for i := 0; i < p; i++ {
+				lo, hi := chunk(n, p, i)
+				if lo != prev {
+					t.Fatalf("chunk(%d,%d,%d): lo=%d want %d", n, p, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("chunk(%d,%d,%d): hi<lo", n, p, i)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("chunk(%d,%d): union ends at %d", n, p, prev)
+			}
+		}
+	}
+}
+
+func TestDecomposePartition(t *testing.T) {
+	n := [3]int{8, 9, 10}
+	g := NewProcGrid(2, 3, 2)
+	boxes := g.Decompose(n)
+	if len(boxes) != 12 {
+		t.Fatalf("got %d boxes", len(boxes))
+	}
+	// Every global point in exactly one box.
+	count := make([]int, n[0]*n[1]*n[2])
+	for _, b := range boxes {
+		for i0 := b.Lo[0]; i0 < b.Hi[0]; i0++ {
+			for i1 := b.Lo[1]; i1 < b.Hi[1]; i1++ {
+				for i2 := b.Lo[2]; i2 < b.Hi[2]; i2++ {
+					count[(i0*n[1]+i1)*n[2]+i2]++
+				}
+			}
+		}
+	}
+	for i, c := range count {
+		if c != 1 {
+			t.Fatalf("point %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestGridCoordRankRoundTrip(t *testing.T) {
+	g := NewProcGrid(3, 4, 5)
+	for r := 0; r < g.Size(); r++ {
+		if got := g.Rank(g.Coord(r)); got != r {
+			t.Fatalf("Rank(Coord(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestPencilAndSlabGrids(t *testing.T) {
+	if g := PencilGrid(0, 4, 6); g.Dims != [3]int{1, 4, 6} {
+		t.Errorf("PencilGrid(0,4,6) = %v", g)
+	}
+	if g := PencilGrid(1, 4, 6); g.Dims != [3]int{4, 1, 6} {
+		t.Errorf("PencilGrid(1,4,6) = %v", g)
+	}
+	if g := PencilGrid(2, 4, 6); g.Dims != [3]int{4, 6, 1} {
+		t.Errorf("PencilGrid(2,4,6) = %v", g)
+	}
+	if g := SlabGrid(0, 8); g.Dims != [3]int{8, 1, 1} {
+		t.Errorf("SlabGrid(0,8) = %v", g)
+	}
+	// Pencil boxes span the pencil axis.
+	n := [3]int{16, 16, 16}
+	for _, b := range PencilGrid(1, 2, 2).Decompose(n) {
+		if !b.SpansAxis(1, 16) {
+			t.Errorf("pencil box %v does not span axis 1", b)
+		}
+	}
+}
+
+func TestMinSurfaceGrid(t *testing.T) {
+	// For a cubic grid, the most cubic factorization wins.
+	g := MinSurfaceGrid(8, [3]int{64, 64, 64})
+	if g.Dims != [3]int{2, 2, 2} {
+		t.Errorf("MinSurfaceGrid(8, cube) = %v, want (2,2,2)", g)
+	}
+	// For a flat grid, splitting should follow the long axes.
+	g = MinSurfaceGrid(4, [3]int{1, 64, 64})
+	if g.Dims[0] != 1 {
+		t.Errorf("MinSurfaceGrid(4, flat) = %v, want first dim 1", g)
+	}
+	// Size property for a few values.
+	for _, p := range []int{1, 6, 12, 24, 96} {
+		if got := MinSurfaceGrid(p, [3]int{512, 512, 512}).Size(); got != p {
+			t.Errorf("MinSurfaceGrid(%d) size = %d", p, got)
+		}
+	}
+	// Paper Table III: 6 GPUs → (1,2,3) is the min-surface grid for 512³.
+	g = MinSurfaceGrid(6, [3]int{512, 512, 512})
+	if g.Size() != 6 || g.Dims[0] > g.Dims[1] || g.Dims[1] > g.Dims[2] {
+		t.Errorf("MinSurfaceGrid(6) = %v, want sorted near-cubic dims", g)
+	}
+}
+
+func TestSquare2D(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 6: {2, 3}, 24: {4, 6}, 48: {6, 8}, 768: {24, 32}, 3072: {48, 64}}
+	for n, want := range cases {
+		p, q := Square2D(n)
+		if p != want[0] || q != want[1] {
+			t.Errorf("Square2D(%d) = (%d,%d), want %v", n, p, q, want)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	own := NewBox(2, 0, 1, 7, 6, 9)
+	sub := NewBox(3, 2, 4, 6, 5, 8)
+	src := make([]complex128, own.Volume())
+	for i := range src {
+		src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	buf := make([]complex128, sub.Volume())
+	Pack(src, own, sub, buf)
+	dst := make([]complex128, own.Volume())
+	Unpack(dst, own, sub, buf)
+	// dst matches src exactly on sub and is zero elsewhere.
+	for i0 := own.Lo[0]; i0 < own.Hi[0]; i0++ {
+		for i1 := own.Lo[1]; i1 < own.Hi[1]; i1++ {
+			for i2 := own.Lo[2]; i2 < own.Hi[2]; i2++ {
+				idx := own.Index(i0, i1, i2)
+				if sub.Contains(i0, i1, i2) {
+					if dst[idx] != src[idx] {
+						t.Fatalf("point (%d,%d,%d) not round-tripped", i0, i1, i2)
+					}
+				} else if dst[idx] != 0 {
+					t.Fatalf("point (%d,%d,%d) outside sub modified", i0, i1, i2)
+				}
+			}
+		}
+	}
+}
+
+func TestPackOrderIsGlobalRowMajor(t *testing.T) {
+	// Fill src with its global coordinates encoded, pack, and verify buffer
+	// enumeration order.
+	own := NewBox(0, 0, 0, 3, 3, 3)
+	sub := NewBox(1, 0, 1, 3, 2, 3)
+	src := make([]complex128, own.Volume())
+	for i0 := 0; i0 < 3; i0++ {
+		for i1 := 0; i1 < 3; i1++ {
+			for i2 := 0; i2 < 3; i2++ {
+				src[own.Index(i0, i1, i2)] = complex(float64(i0*100+i1*10+i2), 0)
+			}
+		}
+	}
+	buf := make([]complex128, sub.Volume())
+	Pack(src, own, sub, buf)
+	k := 0
+	for i0 := sub.Lo[0]; i0 < sub.Hi[0]; i0++ {
+		for i1 := sub.Lo[1]; i1 < sub.Hi[1]; i1++ {
+			for i2 := sub.Lo[2]; i2 < sub.Hi[2]; i2++ {
+				want := complex(float64(i0*100+i1*10+i2), 0)
+				if buf[k] != want {
+					t.Fatalf("buf[%d] = %v, want %v", k, buf[k], want)
+				}
+				k++
+			}
+		}
+	}
+}
+
+// Property: for random own/sub pairs, Unpack(Pack(x)) restricted to sub
+// equals x.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var own Box3
+		for d := 0; d < 3; d++ {
+			own.Lo[d] = rng.Intn(4)
+			own.Hi[d] = own.Lo[d] + 1 + rng.Intn(6)
+		}
+		var sub Box3
+		for d := 0; d < 3; d++ {
+			sub.Lo[d] = own.Lo[d] + rng.Intn(own.Size(d))
+			sub.Hi[d] = sub.Lo[d] + 1 + rng.Intn(own.Hi[d]-sub.Lo[d])
+		}
+		src := make([]complex128, own.Volume())
+		for i := range src {
+			src[i] = complex(rng.NormFloat64(), 0)
+		}
+		buf := make([]complex128, sub.Volume())
+		Pack(src, own, sub, buf)
+		dst := make([]complex128, own.Volume())
+		Unpack(dst, own, sub, buf)
+		for i0 := sub.Lo[0]; i0 < sub.Hi[0]; i0++ {
+			for i1 := sub.Lo[1]; i1 < sub.Hi[1]; i1++ {
+				for i2 := sub.Lo[2]; i2 < sub.Hi[2]; i2++ {
+					if dst[own.Index(i0, i1, i2)] != src[own.Index(i0, i1, i2)] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	b := NewBox(0, 0, 0, 4, 5, 6)
+	src := make([]complex128, b.Volume())
+	for i := range src {
+		src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	perms := [][3]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}, {0, 2, 1}, {2, 0, 1}, {1, 0, 2}}
+	for _, perm := range perms {
+		mid := make([]complex128, b.Volume())
+		Reorder(src, b, perm, mid)
+		back := make([]complex128, b.Volume())
+		ReorderBack(mid, b, perm, back)
+		for i := range src {
+			if src[i] != back[i] {
+				t.Fatalf("perm %v: round trip failed at %d", perm, i)
+			}
+		}
+	}
+}
+
+func TestReorderMakesAxisContiguous(t *testing.T) {
+	b := NewBox(0, 0, 0, 3, 4, 5)
+	src := make([]complex128, b.Volume())
+	for i0 := 0; i0 < 3; i0++ {
+		for i1 := 0; i1 < 4; i1++ {
+			for i2 := 0; i2 < 5; i2++ {
+				src[b.Index(i0, i1, i2)] = complex(float64(i0), float64(i1*10+i2))
+			}
+		}
+	}
+	// Permute so axis 0 is contiguous: perm = (1,2,0).
+	dst := make([]complex128, b.Volume())
+	Reorder(src, b, [3]int{1, 2, 0}, dst)
+	// First 3 entries should be (i1=0,i2=0, i0=0..2).
+	for i0 := 0; i0 < 3; i0++ {
+		want := complex(float64(i0), 0)
+		if dst[i0] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i0, dst[i0], want)
+		}
+	}
+}
+
+func TestPackArgValidation(t *testing.T) {
+	own := NewBox(0, 0, 0, 2, 2, 2)
+	sub := NewBox(0, 0, 0, 3, 1, 1) // not inside own
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for sub outside own")
+		}
+	}()
+	Pack(make([]complex128, 8), own, sub, make([]complex128, 3))
+}

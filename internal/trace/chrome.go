@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome/Perfetto trace-event format
+// (chrome://tracing, ui.perfetto.dev): complete events ("ph":"X") with
+// microsecond timestamps. Virtual ranks map to thread lanes, so a simulated
+// job's timeline renders exactly like a profiler capture of a real one.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome emits all recorded events as a Chrome trace-event JSON array.
+// Load the file in chrome://tracing or Perfetto to inspect the virtual
+// timeline (one lane per rank).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Name,
+			Phase: "X",
+			TS:    e.Start * 1e6,
+			Dur:   e.Duration() * 1e6,
+			PID:   0,
+			TID:   e.Rank,
+		}
+		if e.Bytes > 0 {
+			ce.Args = map[string]any{"bytes": e.Bytes}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,209 @@
+// Package tuning implements the paper's tuning methodology (Section IV):
+// enumerate candidate algorithm settings (decomposition × exchange backend ×
+// data layout), rank them with the bandwidth model of Section III, and
+// optionally measure the most promising ones by running warm-up + timed
+// phantom transforms — exactly the protocol the paper uses ("the average
+// runtime of 8 FFTs (4 forward and 4 backward), preceded by 2 FFTs to warm
+// up the accelerators").
+package tuning
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/mpisim"
+)
+
+// Candidate is one algorithm setting under consideration.
+type Candidate struct {
+	Decomp     core.Decomposition
+	Backend    core.Backend
+	Contiguous bool
+	// Shrink, when non-zero, enables FFT grid shrinking with the given
+	// per-rank element threshold.
+	Shrink int
+}
+
+func (c Candidate) String() string {
+	s := fmt.Sprintf("%v+%v", c.Decomp, c.Backend)
+	if c.Contiguous {
+		s += "+contiguous"
+	}
+	if c.Shrink > 0 {
+		s += "+shrink"
+	}
+	return s
+}
+
+// Result pairs a candidate with its model prediction and (if measured) its
+// simulated runtime.
+type Result struct {
+	Candidate
+	PredictedSec float64 // bandwidth-model communication estimate
+	MeasuredSec  float64 // simulated per-transform time; 0 if not measured
+}
+
+// DefaultCandidates returns the sweep the paper tunes over: both
+// decompositions, all exchange flavours of Table I, both data layouts.
+func DefaultCandidates() []Candidate {
+	var out []Candidate
+	for _, d := range []core.Decomposition{core.DecompSlabs, core.DecompPencils} {
+		for _, b := range []core.Backend{
+			core.BackendAlltoall, core.BackendAlltoallv, core.BackendAlltoallw,
+			core.BackendP2P, core.BackendP2PBlocking,
+		} {
+			for _, contig := range []bool{false, true} {
+				out = append(out, Candidate{Decomp: d, Backend: b, Contiguous: contig})
+			}
+		}
+	}
+	return out
+}
+
+// Predict evaluates the bandwidth model for a candidate on the given
+// machine/job geometry, returning the estimated communication time of one
+// transform. Only the decomposition matters to the closed-form model; the
+// backend is differentiated by measurement.
+func Predict(c *mpisim.Comm, global [3]int, cand Candidate) float64 {
+	m := c.Model()
+	params := model.Params{Latency: m.InterLatency, Bandwidth: m.NodeInjectionBW}
+	n := global[0] * global[1] * global[2]
+	pi := c.Size()
+	pg, qg := squareGrid(pi)
+	switch cand.Decomp {
+	case core.DecompSlabs:
+		return model.SlabTime(n, pi, params)
+	default:
+		return model.PencilTime(n, pg, qg, params)
+	}
+}
+
+func squareGrid(pi int) (int, int) {
+	p := 1
+	for f := 1; f*f <= pi; f++ {
+		if pi%f == 0 {
+			p = f
+		}
+	}
+	return p, pi / p
+}
+
+// Options controls a tuning run.
+type Options struct {
+	// Warmup and Iters follow the paper's protocol; defaults 2 and 8.
+	Warmup, Iters int
+	// Measure caps how many model-ranked candidates are actually simulated;
+	// 0 measures all.
+	Measure int
+}
+
+// Tune is collective: every rank of c must call it with identical arguments.
+// It returns the candidates sorted by measured (then predicted) time,
+// fastest first.
+func Tune(c *mpisim.Comm, cfg core.Config, cands []Candidate, opts Options) ([]Result, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("tuning: no candidates")
+	}
+	if opts.Warmup <= 0 {
+		opts.Warmup = 2
+	}
+	if opts.Iters <= 0 {
+		opts.Iters = 8
+	}
+
+	results := make([]Result, len(cands))
+	for i, cand := range cands {
+		results[i] = Result{Candidate: cand, PredictedSec: Predict(c, cfg.Global, cand)}
+	}
+	// Rank by prediction; measure the top ones. The order is identical on
+	// every rank because predictions are pure functions of shared inputs.
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return results[order[a]].PredictedSec < results[order[b]].PredictedSec
+	})
+	nMeasure := len(order)
+	if opts.Measure > 0 && opts.Measure < nMeasure {
+		nMeasure = opts.Measure
+	}
+
+	for k := 0; k < nMeasure; k++ {
+		idx := order[k]
+		dt, err := measure(c, cfg, results[idx].Candidate, opts)
+		if err != nil {
+			return nil, err
+		}
+		results[idx].MeasuredSec = dt
+	}
+
+	sort.SliceStable(results, func(a, b int) bool {
+		ma, mb := results[a].MeasuredSec, results[b].MeasuredSec
+		switch {
+		case ma > 0 && mb > 0:
+			return ma < mb
+		case ma > 0:
+			return true
+		case mb > 0:
+			return false
+		default:
+			return results[a].PredictedSec < results[b].PredictedSec
+		}
+	})
+	return results, nil
+}
+
+// measure runs the paper's measurement protocol for one candidate and
+// returns the average per-transform virtual time (max over ranks).
+func measure(c *mpisim.Comm, cfg core.Config, cand Candidate, opts Options) (float64, error) {
+	planCfg := cfg
+	planCfg.Opts.Decomp = cand.Decomp
+	planCfg.Opts.Backend = cand.Backend
+	planCfg.Opts.Contiguous = cand.Contiguous
+	planCfg.Opts.ShrinkThreshold = cand.Shrink
+	p, err := core.NewPlan(c, planCfg)
+	if err != nil {
+		return 0, err
+	}
+	run := func(n int, dirFwd bool) error {
+		for i := 0; i < n; i++ {
+			f := core.NewPhantom(p.InBox())
+			var err error
+			if dirFwd {
+				err = p.Forward(f)
+			} else {
+				err = p.Inverse(f)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(opts.Warmup, true); err != nil {
+		return 0, err
+	}
+	c.Barrier()
+	t0 := c.Clock()
+	half := opts.Iters / 2
+	if err := run(half, true); err != nil {
+		return 0, err
+	}
+	if err := run(opts.Iters-half, false); err != nil {
+		return 0, err
+	}
+	c.Barrier()
+	return (c.Clock() - t0) / float64(opts.Iters), nil
+}
+
+// Best returns the fastest measured result (or the best predicted one when
+// nothing was measured).
+func Best(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	return results[0]
+}

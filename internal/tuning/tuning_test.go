@@ -1,0 +1,128 @@
+package tuning
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+)
+
+func TestDefaultCandidatesCoverTheSweep(t *testing.T) {
+	cands := DefaultCandidates()
+	if len(cands) != 2*5*2 {
+		t.Fatalf("got %d candidates, want 20", len(cands))
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c.String()] {
+			t.Errorf("duplicate candidate %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestPredictOrdersSlabsVsPencils(t *testing.T) {
+	// At 6 ranks on 512³ the model prefers slabs (Fig. 5 left region).
+	w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
+	w.Run(func(c *mpisim.Comm) {
+		slab := Predict(c, [3]int{512, 512, 512}, Candidate{Decomp: core.DecompSlabs})
+		pencil := Predict(c, [3]int{512, 512, 512}, Candidate{Decomp: core.DecompPencils})
+		if slab >= pencil {
+			t.Errorf("slab prediction %g should beat pencil %g at 6 ranks", slab, pencil)
+		}
+	})
+}
+
+func TestTuneMeasuresAndSorts(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
+	cands := []Candidate{
+		{Decomp: core.DecompPencils, Backend: core.BackendAlltoallv},
+		{Decomp: core.DecompPencils, Backend: core.BackendAlltoallw},
+		{Decomp: core.DecompSlabs, Backend: core.BackendAlltoallv},
+	}
+	var results []Result
+	w.Run(func(c *mpisim.Comm) {
+		rs, err := Tune(c, core.Config{Global: [3]int{32, 32, 32}}, cands, Options{Warmup: 1, Iters: 2})
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			results = rs
+		}
+	})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.MeasuredSec <= 0 {
+			t.Errorf("candidate %v not measured", r.Candidate)
+		}
+		if i > 0 && results[i-1].MeasuredSec > r.MeasuredSec {
+			t.Error("results not sorted by measured time")
+		}
+	}
+	// Alltoallw on device buffers must not win (Fig. 2).
+	if Best(results).Backend == core.BackendAlltoallw {
+		t.Error("Alltoallw should not be the tuned winner on a Summit-like stack")
+	}
+}
+
+func TestTuneMeasureCap(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
+	var results []Result
+	w.Run(func(c *mpisim.Comm) {
+		rs, err := Tune(c, core.Config{Global: [3]int{16, 16, 16}}, DefaultCandidates(),
+			Options{Warmup: 1, Iters: 2, Measure: 3})
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			results = rs
+		}
+	})
+	measured := 0
+	for _, r := range results {
+		if r.MeasuredSec > 0 {
+			measured++
+		}
+	}
+	if measured != 3 {
+		t.Errorf("measured %d candidates, want 3", measured)
+	}
+	// Measured candidates must sort before unmeasured ones.
+	for i := 0; i < measured; i++ {
+		if results[i].MeasuredSec == 0 {
+			t.Error("unmeasured candidate sorted before measured ones")
+		}
+	}
+}
+
+func TestTuneErrors(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 2, mpisim.Options{})
+	w.Run(func(c *mpisim.Comm) {
+		if _, err := Tune(c, core.Config{Global: [3]int{4, 4, 4}}, nil, Options{}); err == nil {
+			t.Error("expected error for empty candidate list")
+		}
+	})
+}
+
+func TestTuneDeterministicAcrossRanks(t *testing.T) {
+	// All ranks must agree on the winner (they run identical logic on
+	// identical virtual clocks).
+	w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
+	winners := make([]string, 6)
+	w.Run(func(c *mpisim.Comm) {
+		rs, err := Tune(c, core.Config{Global: [3]int{16, 16, 16}},
+			DefaultCandidates()[:6], Options{Warmup: 1, Iters: 2})
+		if err != nil {
+			panic(err)
+		}
+		winners[c.Rank()] = Best(rs).String()
+	})
+	for r := 1; r < 6; r++ {
+		if winners[r] != winners[0] {
+			t.Errorf("rank %d winner %q != rank 0 winner %q", r, winners[r], winners[0])
+		}
+	}
+}
