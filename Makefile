@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race bench examples experiments quick-experiments
+.PHONY: all build vet test test-race race bench bench-forward examples experiments quick-experiments
 
 all: build vet test
 
@@ -14,11 +14,21 @@ test:
 	go test ./...
 
 # The simulator is heavily concurrent; the race detector is a useful gate.
+# The fft package shares kernel plans and a worker pool across rank
+# goroutines, and core ships pool buffers between ranks with move semantics —
+# both live under this gate.
 test-race:
-	go test -race ./internal/mpisim/ ./internal/core/ ./internal/trace/
+	go test -race ./internal/mpisim/ ./internal/core/ ./internal/trace/ ./internal/fft/
+
+race: test-race
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Host wall-clock of the execution engine (the BENCH_PR1.json numbers):
+# one full distributed Forward per iteration, 64 ranks, real payloads.
+bench-forward:
+	go test -run '^$$' -bench 'BenchmarkForward' -benchmem -benchtime 5x .
 
 examples:
 	go run ./examples/quickstart

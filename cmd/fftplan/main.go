@@ -16,10 +16,7 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/machine"
-	"repro/internal/model"
-	"repro/internal/stats"
+	"repro/heffte"
 )
 
 func main() {
@@ -31,42 +28,42 @@ func main() {
 		lat   = flag.Float64("lat", 1e-6, "model latency L in seconds (paper: 1 µs)")
 	)
 	flag.Parse()
-	params := model.Params{Latency: *lat, Bandwidth: *bw}
+	params := heffte.ModelParams{Latency: *lat, Bandwidth: *bw}
 
 	if *phase {
 		printPhase(params)
 		return
 	}
 
-	e := core.LookupTableIII(*ranks)
+	e := heffte.LookupTableIII(*ranks)
 	total := (*n) * (*n) * (*n)
-	ts := model.SlabTime(total, *ranks, params)
-	tp := model.PencilTime(total, e.P, e.Q, params)
-	m := machine.Summit()
+	ts := heffte.SlabTime(total, *ranks, params)
+	tp := heffte.PencilTime(total, e.P, e.Q, params)
+	m := heffte.Summit()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "transform\t%d³ complex-to-complex (%d elements)\n", *n, total)
 	fmt.Fprintf(tw, "ranks\t%d (%d Summit nodes)\n", *ranks, m.Nodes(*ranks))
 	fmt.Fprintf(tw, "input/output bricks\t%v (Table III / min-surface)\n", e.InOut)
 	fmt.Fprintf(tw, "pencil grid\t%d × %d\n", e.P, e.Q)
-	fmt.Fprintf(tw, "T_slabs (eq. 2)\t%s\n", stats.FormatSeconds(ts))
-	fmt.Fprintf(tw, "T_pencils (eq. 3)\t%s\n", stats.FormatSeconds(tp))
+	fmt.Fprintf(tw, "T_slabs (eq. 2)\t%s\n", heffte.FormatSeconds(ts))
+	fmt.Fprintf(tw, "T_pencils (eq. 3)\t%s\n", heffte.FormatSeconds(tp))
 	rec := "pencils"
-	if model.PreferSlabs([3]int{*n, *n, *n}, e.P, e.Q, params) {
+	if heffte.PreferSlabs([3]int{*n, *n, *n}, e.P, e.Q, params) {
 		rec = "slabs"
 	}
 	fmt.Fprintf(tw, "recommended decomposition\t%s\n", rec)
 	tw.Flush()
 }
 
-func printPhase(params model.Params) {
+func printPhase(params heffte.ModelParams) {
 	sizes := []int{64, 128, 256, 512, 1024, 2048}
 	pis := []int{6, 12, 24, 48, 96, 192, 384, 768, 1536, 3072}
 	grid := func(pi int) (int, int) {
-		e := core.LookupTableIII(pi)
+		e := heffte.LookupTableIII(pi)
 		return e.P, e.Q
 	}
-	pts := model.PhaseDiagram(sizes, pis, grid, params)
+	pts := heffte.PhaseDiagram(sizes, pis, grid, params)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "N\\ranks")
 	for _, pi := range pis {

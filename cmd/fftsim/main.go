@@ -15,11 +15,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/machine"
-	"repro/internal/mpisim"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/heffte"
 )
 
 func main() {
@@ -43,26 +39,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fftsim:", err)
 		os.Exit(2)
 	}
-	mdl := machine.Summit()
+	mdl := heffte.Summit()
 	if *mach == "spock" {
-		mdl = machine.Spock()
+		mdl = heffte.Spock()
 	}
 
-	tr := trace.New()
-	w := mpisim.NewWorld(mdl, *ranks, mpisim.Options{GPUAware: !*noAware, Tracer: tr})
+	tr := heffte.NewTracer()
+	w := heffte.NewWorld(mdl, *ranks, heffte.WorldOptions{GPUAware: !*noAware, Tracer: tr})
 	global := [3]int{*n, *n, *n}
 	var perFFT float64
-	var resolved core.Decomposition
+	var resolved heffte.Decomposition
 	var exchanges int
-	w.Run(func(c *mpisim.Comm) {
-		p, err := core.NewPlan(c, core.Config{Global: global, Opts: opts})
+	w.Run(func(c *heffte.Comm) {
+		p, err := heffte.NewPlan(c, heffte.Config{Global: global, Opts: opts})
 		if err != nil {
 			panic(err)
 		}
 		exec := func(inv bool) {
-			fs := make([]*core.Field, *batch)
+			fs := make([]*heffte.Field, *batch)
 			for i := range fs {
-				fs[i] = core.NewPhantom(p.InBox())
+				fs[i] = heffte.NewPhantom(p.InBox())
 			}
 			if inv {
 				err = p.InverseBatch(fs)
@@ -92,7 +88,7 @@ func main() {
 		mdl.Name, *ranks, mdl.Nodes(*ranks), *n, resolved, opts.Backend, !*noAware, *batch)
 	fmt.Printf("exchanges per transform: %d\n", exchanges)
 	fmt.Printf("time per transform: %s  (%.1f GFLOP/s aggregate)\n",
-		stats.FormatSeconds(perFFT), stats.Gflops(stats.FFTFlops(*n**n**n)*float64(*batch), perFFT*float64(*batch)))
+		heffte.FormatSeconds(perFFT), heffte.Gflops(heffte.FFTFlops(*n**n**n)*float64(*batch), perFFT*float64(*batch)))
 
 	totals := tr.TotalByName(-1)
 	var names []string
@@ -103,18 +99,12 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "kernel\ttotal (slowest rank)")
 	for _, k := range names {
-		fmt.Fprintf(tw, "%s\t%s\n", k, stats.FormatSeconds(totals[k]))
+		fmt.Fprintf(tw, "%s\t%s\n", k, heffte.FormatSeconds(totals[k]))
 	}
 	tw.Flush()
 
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fftsim:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := tr.WriteChrome(f); err != nil {
+		if err := heffte.WriteChromeFile(tr, *traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "fftsim:", err)
 			os.Exit(1)
 		}
@@ -122,31 +112,31 @@ func main() {
 	}
 }
 
-func parseOptions(decomp, backend string, contiguous bool, shrink int) (core.Options, error) {
-	o := core.Options{Contiguous: contiguous, ShrinkThreshold: shrink}
+func parseOptions(decomp, backend string, contiguous bool, shrink int) (heffte.Options, error) {
+	o := heffte.Options{Contiguous: contiguous, ShrinkThreshold: shrink}
 	switch decomp {
 	case "auto":
-		o.Decomp = core.DecompAuto
+		o.Decomp = heffte.DecompAuto
 	case "slabs":
-		o.Decomp = core.DecompSlabs
+		o.Decomp = heffte.DecompSlabs
 	case "pencils":
-		o.Decomp = core.DecompPencils
+		o.Decomp = heffte.DecompPencils
 	case "bricks":
-		o.Decomp = core.DecompBricks
+		o.Decomp = heffte.DecompBricks
 	default:
 		return o, fmt.Errorf("unknown decomposition %q", decomp)
 	}
 	switch backend {
 	case "alltoall":
-		o.Backend = core.BackendAlltoall
+		o.Backend = heffte.BackendAlltoall
 	case "alltoallv":
-		o.Backend = core.BackendAlltoallv
+		o.Backend = heffte.BackendAlltoallv
 	case "alltoallw":
-		o.Backend = core.BackendAlltoallw
+		o.Backend = heffte.BackendAlltoallw
 	case "p2p":
-		o.Backend = core.BackendP2P
+		o.Backend = heffte.BackendP2P
 	case "p2p-blocking":
-		o.Backend = core.BackendP2PBlocking
+		o.Backend = heffte.BackendP2PBlocking
 	default:
 		return o, fmt.Errorf("unknown backend %q", backend)
 	}

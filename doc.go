@@ -8,5 +8,23 @@
 // and a benchmark harness regenerating every table and figure
 // (internal/bench, cmd/fftbench).
 //
+// The heffte facade is the entire public surface — programs never import
+// repro/internal/... directly. Beyond plan construction (Config literals or
+// functional options via NewPlanWith), it exposes tuning (Tune,
+// DefaultCandidates, Best), the bandwidth model (SlabTime, PencilTime,
+// PhaseDiagram), trace export (WriteChromeFile), and typed sentinel errors
+// (ErrBadConfig, ErrMismatchedBoxes, ErrPlanClosed) that classify failures
+// through errors.Is.
+//
+// Under the facade, the execution engine keeps the host-side hot path
+// allocation-free: staging buffers come from a process-wide size-class pool
+// and move through the simulator with ownership transfer instead of
+// defensive copies; FFT kernel plans (twiddles, bit-reversal tables) are
+// cached per plan axis; and batched transforms fan out over a bounded
+// worker pool shared across rank goroutines. Steady-state Forward/Inverse
+// performs zero allocations (asserted by testing.AllocsPerRun), while
+// virtual-time results are unchanged — simulated costs depend only on bytes
+// and location, never on buffer ownership.
+//
 // See README.md for a tour and DESIGN.md for the system inventory.
 package repro

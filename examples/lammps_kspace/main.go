@@ -16,7 +16,6 @@ import (
 
 	"repro/heffte"
 	"repro/internal/apps/lammps"
-	"repro/internal/core"
 )
 
 func main() {
@@ -26,7 +25,7 @@ func main() {
 	)
 	grid := [3]int{64, 64, 64}
 
-	run := func(label string, opts core.Options, gpuAware bool) map[string]float64 {
+	run := func(label string, opts heffte.Options, gpuAware bool) map[string]float64 {
 		tr := heffte.NewTracer()
 		w := heffte.NewWorld(heffte.Summit(), ranks, heffte.WorldOptions{GPUAware: gpuAware, Tracer: tr})
 		w.Run(func(c *heffte.Comm) {
@@ -56,9 +55,9 @@ func main() {
 	}
 
 	base := run("fftMPI-like baseline (pencils, blocking P2P, host MPI)",
-		core.Options{Decomp: core.DecompPencils, Backend: core.BackendP2PBlocking}, false)
+		heffte.Options{Decomp: heffte.DecompPencils, Backend: heffte.BackendP2PBlocking}, false)
 	tuned := run("tuned heFFTe (slabs, GPU-aware Alltoallv — per the Fig. 5 regions)",
-		core.Options{Decomp: core.DecompSlabs, Backend: core.BackendAlltoallv}, true)
+		heffte.Options{Decomp: heffte.DecompSlabs, Backend: heffte.BackendAlltoallv}, true)
 
 	fmt.Printf("KSPACE reduction from tuning: %.0f%% (paper Fig. 12: ≈40%%)\n",
 		100*(1-tuned["kspace"]/base["kspace"]))

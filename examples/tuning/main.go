@@ -13,9 +13,6 @@ import (
 	"text/tabwriter"
 
 	"repro/heffte"
-	"repro/internal/core"
-	"repro/internal/stats"
-	"repro/internal/tuning"
 )
 
 func main() {
@@ -23,10 +20,10 @@ func main() {
 	global := [3]int{128, 128, 128}
 
 	w := heffte.NewWorld(heffte.Summit(), ranks, heffte.WorldOptions{GPUAware: true})
-	var results []tuning.Result
+	var results []heffte.TuneResult
 	w.Run(func(c *heffte.Comm) {
-		rs, err := tuning.Tune(c, core.Config{Global: global}, tuning.DefaultCandidates(),
-			tuning.Options{Measure: 8})
+		rs, err := heffte.Tune(c, heffte.Config{Global: global}, heffte.DefaultCandidates(),
+			heffte.TuneOptions{Measure: 8})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,14 +38,14 @@ func main() {
 	for _, r := range results {
 		measured := "-"
 		if r.MeasuredSec > 0 {
-			measured = stats.FormatSeconds(r.MeasuredSec)
+			measured = heffte.FormatSeconds(r.MeasuredSec)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\n", r.Candidate, stats.FormatSeconds(r.PredictedSec), measured)
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", r.Candidate, heffte.FormatSeconds(r.PredictedSec), measured)
 	}
 	tw.Flush()
 
-	best := tuning.Best(results)
-	fmt.Printf("\nwinner: %s (%s per transform)\n", best.Candidate, stats.FormatSeconds(best.MeasuredSec))
+	best := heffte.Best(results)
+	fmt.Printf("\nwinner: %s (%s per transform)\n", best.Candidate, heffte.FormatSeconds(best.MeasuredSec))
 	fmt.Println("the paper's Fig. 5 regions predict slabs below the 64-node crossover — check the")
 	fmt.Println("winner's decomposition matches `fftplan -n 128 -ranks 24`")
 }

@@ -12,7 +12,6 @@ import (
 
 	"repro/heffte"
 	"repro/internal/apps/turb"
-	"repro/internal/core"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func main() {
 			Grid: [3]int{32, 32, 32},
 			Nu:   0.05,
 			Dt:   5e-3,
-			FFT:  core.Options{Decomp: core.DecompPencils, Backend: core.BackendAlltoallv},
+			FFT:  heffte.Options{Decomp: heffte.DecompPencils, Backend: heffte.BackendAlltoallv},
 		})
 		if err != nil {
 			log.Fatal(err)

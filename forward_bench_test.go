@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/heffte"
+)
+
+// benchForward measures the host wall-clock of one full distributed Forward
+// transform of an n³ grid on 64 simulated ranks with real (non-phantom)
+// payloads — the execution-engine hot path: local FFT kernels, pack/unpack
+// staging, and message transport. Virtual-time results are irrelevant here;
+// this tracks how fast the simulator itself runs.
+func benchForward(b *testing.B, n int) {
+	b.Helper()
+	const ranks = 64
+	global := [3]int{n, n, n}
+	b.SetBytes(int64(16 * n * n * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := heffte.NewWorld(heffte.Summit(), ranks, heffte.WorldOptions{GPUAware: true})
+		w.Run(func(c *heffte.Comm) {
+			plan, err := heffte.NewPlan(c, heffte.Config{Global: global})
+			if err != nil {
+				panic(err)
+			}
+			f := heffte.NewField(plan.InBox())
+			f.FillRandom(int64(c.Rank() + 1))
+			if err := plan.Forward(f); err != nil {
+				panic(err)
+			}
+		})
+	}
+}
+
+func BenchmarkForward32(b *testing.B)  { benchForward(b, 32) }
+func BenchmarkForward64(b *testing.B)  { benchForward(b, 64) }
+func BenchmarkForward128(b *testing.B) { benchForward(b, 128) }

@@ -1,0 +1,63 @@
+package heffte
+
+import (
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Bandwidth model of Section III (equations 2-3) and reporting helpers, so
+// analysis programs need only this package.
+
+type (
+	// ModelParams is the (latency, bandwidth) pair driving the closed-form
+	// model.
+	ModelParams = model.Params
+	// PhasePoint is one cell of the slab/pencil phase diagram (Fig. 5).
+	PhasePoint = model.PhasePoint
+)
+
+// SlabTime returns the predicted communication time of a slab-decomposed
+// transform of n total elements on pi ranks (equation 2).
+func SlabTime(n, pi int, p ModelParams) float64 { return model.SlabTime(n, pi, p) }
+
+// PencilTime is the pencil counterpart on a pg×qg grid (equation 3).
+func PencilTime(n, pg, qg int, p ModelParams) float64 { return model.PencilTime(n, pg, qg, p) }
+
+// PreferSlabs reports whether the model predicts slabs beat pencils for this
+// geometry (the Fig. 5 regions).
+func PreferSlabs(global [3]int, pg, qg int, p ModelParams) bool {
+	return model.PreferSlabs(global, pg, qg, p)
+}
+
+// PhaseDiagram evaluates the slab/pencil decision over a size × ranks sweep;
+// grid maps a rank count to its pencil grid.
+func PhaseDiagram(sizes, pis []int, grid func(pi int) (p, q int), params ModelParams) []PhasePoint {
+	return model.PhaseDiagram(sizes, pis, grid, params)
+}
+
+// FormatSeconds renders a duration with a sensible unit (µs/ms/s).
+func FormatSeconds(s float64) string { return stats.FormatSeconds(s) }
+
+// Gflops converts an operation count and duration to GFLOP/s.
+func Gflops(flops, seconds float64) float64 { return stats.Gflops(flops, seconds) }
+
+// FFTFlops returns the 5·N·log2(N) operation count of an N-element complex
+// transform.
+func FFTFlops(n int) float64 { return stats.FFTFlops(n) }
+
+// WriteChromeFile writes a tracer's virtual timeline to path as Chrome
+// trace-event JSON (open in chrome://tracing or Perfetto). For an io.Writer,
+// use the Tracer.WriteChrome method directly.
+func WriteChromeFile(tr *Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,21 @@
+package heffte
+
+import "repro/internal/core"
+
+// Typed sentinel errors. Plan constructors wrap these with context (%w), so
+// callers classify failures with errors.Is instead of string matching:
+//
+//	if _, err := heffte.NewPlan(c, cfg); errors.Is(err, heffte.ErrBadConfig) {
+//	    // fix the configuration, not the boxes
+//	}
+var (
+	// ErrBadConfig marks an invalid plan configuration (non-positive
+	// extents, a pencil grid that does not factor the rank count, an odd N2
+	// for a real-to-complex plan, an unresolved decomposition).
+	ErrBadConfig = core.ErrBadConfig
+	// ErrMismatchedBoxes marks inconsistent data distributions (box lists
+	// sized unlike the communicator, boxes that do not tile the grid).
+	ErrMismatchedBoxes = core.ErrMismatchedBoxes
+	// ErrPlanClosed is returned when executing a plan after Close.
+	ErrPlanClosed = core.ErrPlanClosed
+)

@@ -1,0 +1,109 @@
+package heffte_test
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/heffte"
+)
+
+// TestNewPlanWith checks that the functional-option constructor builds the
+// same plan a Config literal would, and that the transform round-trips.
+func TestNewPlanWith(t *testing.T) {
+	w := heffte.NewWorld(heffte.Summit(), 4, heffte.WorldOptions{GPUAware: true})
+	w.Run(func(c *heffte.Comm) {
+		plan, err := heffte.NewPlanWith(c, [3]int{16, 16, 16},
+			heffte.WithDecomposition(heffte.DecompPencils),
+			heffte.WithBackend(heffte.BackendP2P),
+			heffte.WithContiguous(true),
+			heffte.WithPencilGrid(2, 2),
+		)
+		if err != nil {
+			t.Errorf("NewPlanWith: %v", err)
+			return
+		}
+		if plan.Decomp() != heffte.DecompPencils {
+			t.Errorf("decomp = %v, want pencils", plan.Decomp())
+		}
+		if pg, qg := plan.PencilGrid(); pg != 2 || qg != 2 {
+			t.Errorf("pencil grid = %d×%d, want 2×2", pg, qg)
+		}
+		f := heffte.NewField(plan.InBox())
+		f.FillRandom(int64(c.Rank() + 7))
+		orig := append([]complex128(nil), f.Data...)
+		if err := plan.Forward(f); err != nil {
+			t.Errorf("Forward: %v", err)
+			return
+		}
+		if err := plan.Inverse(f); err != nil {
+			t.Errorf("Inverse: %v", err)
+			return
+		}
+		// The output distribution equals the input here, so compare in place.
+		for i := range orig {
+			if cmplx.Abs(f.Data[i]-orig[i]) > 1e-9 {
+				t.Errorf("rank %d: round trip differs at %d", c.Rank(), i)
+				return
+			}
+		}
+		if err := plan.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := plan.Forward(f); !errors.Is(err, heffte.ErrPlanClosed) {
+			t.Errorf("Forward after Close: got %v, want ErrPlanClosed", err)
+		}
+	})
+}
+
+// TestFacadeSentinels checks the sentinel re-exports classify constructor
+// failures through the facade.
+func TestFacadeSentinels(t *testing.T) {
+	w := heffte.NewWorld(heffte.Summit(), 2, heffte.WorldOptions{GPUAware: true})
+	w.Run(func(c *heffte.Comm) {
+		if _, err := heffte.NewPlanWith(c, [3]int{0, 8, 8}); !errors.Is(err, heffte.ErrBadConfig) {
+			t.Errorf("zero extent: got %v, want ErrBadConfig", err)
+		}
+		bad := []heffte.Box3{heffte.NewBox(0, 0, 0, 8, 8, 8)}
+		if _, err := heffte.NewPlanWith(c, [3]int{8, 8, 8}, heffte.WithBoxes(bad, nil)); !errors.Is(err, heffte.ErrMismatchedBoxes) {
+			t.Errorf("short box list: got %v, want ErrMismatchedBoxes", err)
+		}
+	})
+}
+
+// TestFacadeTune smoke-tests the tuning passthrough: predictions are
+// positive, the best candidate is measured, and ranking is consistent.
+func TestFacadeTune(t *testing.T) {
+	w := heffte.NewWorld(heffte.Summit(), 4, heffte.WorldOptions{GPUAware: true})
+	var results []heffte.TuneResult
+	w.Run(func(c *heffte.Comm) {
+		cands := []heffte.TuneCandidate{
+			{Decomp: heffte.DecompPencils, Backend: heffte.BackendAlltoallv},
+			{Decomp: heffte.DecompSlabs, Backend: heffte.BackendAlltoallv},
+		}
+		rs, err := heffte.Tune(c, heffte.Config{Global: [3]int{16, 16, 16}}, cands, heffte.TuneOptions{Measure: 2})
+		if err != nil {
+			t.Errorf("Tune: %v", err)
+			return
+		}
+		if c.Rank() == 0 {
+			results = rs
+		}
+	})
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	best := heffte.Best(results)
+	if best.MeasuredSec <= 0 || math.IsNaN(best.MeasuredSec) {
+		t.Errorf("best candidate not measured: %+v", best)
+	}
+	for _, r := range results {
+		if r.PredictedSec <= 0 {
+			t.Errorf("candidate %v has no prediction", r.Candidate)
+		}
+	}
+	if len(heffte.DefaultCandidates()) == 0 {
+		t.Error("DefaultCandidates is empty")
+	}
+}

@@ -1,0 +1,59 @@
+package heffte
+
+// Functional plan options: an alternative to filling a Config literal, for
+// callers that configure plans programmatically:
+//
+//	plan, err := heffte.NewPlanWith(c, [3]int{256, 256, 256},
+//	    heffte.WithDecomposition(heffte.DecompSlabs),
+//	    heffte.WithBackend(heffte.BackendP2P),
+//	    heffte.WithContiguous(true),
+//	)
+//
+// Both styles build the identical Config; use whichever reads better.
+
+// PlanOption mutates the Config a plan is created from.
+type PlanOption func(*Config)
+
+// WithDecomposition selects slabs, pencils or bricks (Fig. 1).
+func WithDecomposition(d Decomposition) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Decomp = d }
+}
+
+// WithBackend selects the MPI exchange flavour (Table I).
+func WithBackend(b Backend) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Backend = b }
+}
+
+// WithContiguous toggles the "transposed" local-FFT path: reshapes reorder
+// data so every local FFT runs at unit stride (Figs. 6 and 7).
+func WithContiguous(on bool) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Contiguous = on }
+}
+
+// WithPencilGrid fixes the P×Q pencil grid instead of the most square
+// factorization.
+func WithPencilGrid(p, q int) PlanOption {
+	return func(cfg *Config) { cfg.Opts.PQ = [2]int{p, q} }
+}
+
+// WithShrinkThreshold enables FFT grid shrinking (Algorithm 1, line 2) below
+// the given per-rank element count; 0 disables it.
+func WithShrinkThreshold(elems int) PlanOption {
+	return func(cfg *Config) { cfg.Opts.ShrinkThreshold = elems }
+}
+
+// WithBoxes fixes the input and output distributions (nil keeps the
+// minimum-surface brick default for that side).
+func WithBoxes(in, out []Box3) PlanOption {
+	return func(cfg *Config) { cfg.InBoxes, cfg.OutBoxes = in, out }
+}
+
+// NewPlanWith collectively creates a plan for a global grid from functional
+// options; all ranks pass identical arguments.
+func NewPlanWith(c *Comm, global [3]int, opts ...PlanOption) (*Plan, error) {
+	cfg := Config{Global: global}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewPlan(c, cfg)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+)
+
+// TestForwardSteadyStateAllocs pins the zero-allocation guarantee of the
+// execution engine: after warm-up, Forward and Inverse on a live plan perform
+// no per-call allocations — kernel scratch comes from plan-held pools, the
+// single-field batch rides in plan scratch, and (in multi-rank runs) staging
+// buffers cycle through the process-wide pool.
+//
+// A single-rank plan is the pure compute path (no reshape stages), which is
+// the path the guarantee is strongest on; the multi-rank staging pool is
+// exercised by the benchmarks and the numerics tests.
+func TestForwardSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	w := mpisim.NewWorld(machine.Summit(), 1, mpisim.Options{GPUAware: true})
+	w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: [3]int{32, 32, 32}})
+		if err != nil {
+			t.Errorf("NewPlan: %v", err)
+			return
+		}
+		f := NewField(p.InBox())
+		f.FillRandom(1)
+		// Warm the kernel-scratch and staging pools.
+		for i := 0; i < 3; i++ {
+			if err := p.Forward(f); err != nil {
+				t.Errorf("warm-up Forward: %v", err)
+				return
+			}
+			if err := p.Inverse(f); err != nil {
+				t.Errorf("warm-up Inverse: %v", err)
+				return
+			}
+		}
+		fwd := testing.AllocsPerRun(50, func() {
+			if err := p.Forward(f); err != nil {
+				panic(err)
+			}
+		})
+		inv := testing.AllocsPerRun(50, func() {
+			if err := p.Inverse(f); err != nil {
+				panic(err)
+			}
+		})
+		// Average < 1: a stray GC may drop a sync.Pool entry mid-run, whose
+		// amortized refill must not fail the regression.
+		if fwd >= 1 {
+			t.Errorf("steady-state Forward allocates %.2f times per call, want 0", fwd)
+		}
+		if inv >= 1 {
+			t.Errorf("steady-state Inverse allocates %.2f times per call, want 0", inv)
+		}
+	})
+}

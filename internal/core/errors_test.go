@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// TestSentinelErrors checks that the constructors classify failures with the
+// typed sentinels (wrapped, so errors.Is sees through the context messages).
+func TestSentinelErrors(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 2, mpisim.Options{GPUAware: true})
+	w.Run(func(c *mpisim.Comm) {
+		check := func(label string, err, want error) {
+			if err == nil {
+				t.Errorf("%s: expected an error", label)
+				return
+			}
+			if !errors.Is(err, want) {
+				t.Errorf("%s: error %q does not wrap %q", label, err, want)
+			}
+		}
+
+		_, err := NewPlan(c, Config{Global: [3]int{0, 4, 4}})
+		check("zero extent", err, ErrBadConfig)
+
+		_, err = NewPlan(c, Config{Global: [3]int{4, 4, 4}, Opts: Options{PQ: [2]int{3, 1}}})
+		check("pencil grid mismatch", err, ErrBadConfig)
+
+		short := []tensor.Box3{tensor.FullBox([3]int{4, 4, 4})}
+		_, err = NewPlan(c, Config{Global: [3]int{4, 4, 4}, InBoxes: short})
+		check("box count", err, ErrMismatchedBoxes)
+
+		_, err = NewRealPlan(c, RealConfig{Global: [3]int{4, 4, 5}})
+		check("odd N2", err, ErrBadConfig)
+
+		_, err = NewRealPlan(c, RealConfig{Global: [3]int{4, 4, 4}, InBoxes: short})
+		check("real box count", err, ErrMismatchedBoxes)
+	})
+}
+
+// TestPlanClose checks the Close lifecycle: idempotent, and executions after
+// Close fail with ErrPlanClosed.
+func TestPlanClose(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 2, mpisim.Options{GPUAware: true})
+	w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: [3]int{8, 8, 8}})
+		if err != nil {
+			t.Errorf("NewPlan: %v", err)
+			return
+		}
+		f := NewField(p.InBox())
+		f.FillRandom(int64(c.Rank() + 1))
+		if err := p.Forward(f); err != nil {
+			t.Errorf("Forward before Close: %v", err)
+		}
+		if err := p.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		if err := p.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+		if err := p.Forward(f); !errors.Is(err, ErrPlanClosed) {
+			t.Errorf("Forward after Close: got %v, want ErrPlanClosed", err)
+		}
+
+		rp, err := NewRealPlan(c, RealConfig{Global: [3]int{8, 8, 8}})
+		if err != nil {
+			t.Errorf("NewRealPlan: %v", err)
+			return
+		}
+		if err := rp.Close(); err != nil {
+			t.Errorf("RealPlan.Close: %v", err)
+		}
+		rf := NewRealField(rp.InBox())
+		if _, err := rp.Forward(rf); !errors.Is(err, ErrPlanClosed) {
+			t.Errorf("RealPlan.Forward after Close: got %v, want ErrPlanClosed", err)
+		}
+	})
+}

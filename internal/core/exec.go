@@ -8,12 +8,19 @@ import (
 )
 
 // Forward computes the forward transform of one field (in place: the field's
-// box and data become the output distribution).
-func (p *Plan) Forward(f *Field) error { return p.execute([]*Field{f}, fft.Forward) }
+// box and data become the output distribution). The single-field batch rides
+// in plan-held scratch, so steady-state execution allocates nothing.
+func (p *Plan) Forward(f *Field) error {
+	p.one[0] = f
+	return p.execute(p.one[:], fft.Forward)
+}
 
 // Inverse computes the inverse transform (scaled by 1/N, so
 // Inverse(Forward(x)) == x).
-func (p *Plan) Inverse(f *Field) error { return p.execute([]*Field{f}, fft.Inverse) }
+func (p *Plan) Inverse(f *Field) error {
+	p.one[0] = f
+	return p.execute(p.one[:], fft.Inverse)
+}
 
 // ForwardBatch transforms a batch of fields through one fused plan
 // execution: exchange messages carry all batch payloads (amortizing latency
@@ -26,6 +33,9 @@ func (p *Plan) ForwardBatch(fs []*Field) error { return p.execute(fs, fft.Forwar
 func (p *Plan) InverseBatch(fs []*Field) error { return p.execute(fs, fft.Inverse) }
 
 func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
+	if p.closed {
+		return fmt.Errorf("core: %w", ErrPlanClosed)
+	}
 	if len(fields) == 0 {
 		return fmt.Errorf("core: empty batch")
 	}
@@ -44,11 +54,16 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
 	// entry's compute up front (its results must be packed before anything
 	// can be sent) and hides the rest behind communication.
 	pending := 0.0
+	// The first reshape packs from caller-owned arrays; every later one packs
+	// from arrays the previous reshape drew from the staging pool, which are
+	// recycled once packed.
+	recycle := false
 	for _, st := range p.stages {
 		switch st.kind {
 		case stageReshape:
 			t0 := p.comm.Clock()
-			st.rs.run(execCtx{dev: p.dev, opts: p.opts}, fields)
+			st.rs.run(execCtx{dev: p.dev, opts: p.opts}, fields, recycle)
+			recycle = true
 			comm := p.comm.Clock() - t0
 			if pending > comm {
 				p.chargeOverlap(pending - comm)
@@ -119,7 +134,7 @@ func (p *Plan) fftStage(st stage, fields []*Field, dir fft.Direction) float64 {
 	strided := axis != 2 && !p.opts.Contiguous
 
 	if !fields[0].Phantom() {
-		plan := fft.NewPlan(n)
+		plan := st.fplan
 		for _, f := range fields {
 			switch axis {
 			case 2:

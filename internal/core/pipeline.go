@@ -29,6 +29,9 @@ func (p *Plan) InversePipelined(fields []*Field) error {
 }
 
 func (p *Plan) executePipelined(fields []*Field, dir fft.Direction) error {
+	if p.closed {
+		return fmt.Errorf("core: %w", ErrPlanClosed)
+	}
 	if p.opts.Backend != BackendAlltoallv {
 		return fmt.Errorf("core: pipelined execution requires the alltoallv backend, have %v", p.opts.Backend)
 	}
@@ -47,16 +50,19 @@ func (p *Plan) executePipelined(fields []*Field, dir fft.Direction) error {
 
 	pending := make([]*mpisim.CollRequest, len(fields))
 	var pendingRS *reshapePlan
+	// Arrays produced by an earlier reshape of this execution are plan-owned
+	// and recycled when replaced; the caller's input arrays are not.
+	recycle, recycleNext := false, false
 
 	drain := func(i int) {
 		if pending[i] == nil {
 			if pendingRS != nil {
 				// Uninvolved ranks still take the new (empty) box.
-				completeAsyncNone(pendingRS, fields[i])
+				completeAsyncNone(pendingRS, fields[i], recycle)
 			}
 			return
 		}
-		pendingRS.completeAsync(p.ctxExec(), fields[i], pending[i])
+		pendingRS.completeAsync(p.ctxExec(), fields[i], pending[i], recycle)
 		pending[i] = nil
 	}
 
@@ -69,6 +75,7 @@ func (p *Plan) executePipelined(fields []*Field, dir fft.Direction) error {
 				drain(i)
 			}
 			pendingRS = st.rs
+			recycle, recycleNext = recycleNext, true
 			for i, f := range fields {
 				pending[i] = st.rs.postAsync(p.ctxExec(), f)
 			}
@@ -117,7 +124,7 @@ func (p *Plan) fftStageSingle(st stage, f *Field, dir fft.Direction) {
 	batch := box.Volume() / n
 	strided := axis != 2 && !p.opts.Contiguous
 	if !f.Phantom() {
-		plan := fft.NewPlan(n)
+		plan := st.fplan
 		switch axis {
 		case 2:
 			plan.TransformBatch(f.Data, 1, s[2], s[0]*s[1], dir)
@@ -147,12 +154,14 @@ func (rs *reshapePlan) postAsync(ctx execCtx, f *Field) *mpisim.CollRequest {
 	return rs.group.Ialltoallv(bufs)
 }
 
-// completeAsync waits for the exchange and unpacks into the new box.
-func (rs *reshapePlan) completeAsync(ctx execCtx, f *Field, req *mpisim.CollRequest) {
+// completeAsync waits for the exchange and unpacks into the new box. With
+// recycle set, the field's packed-from array (plan-owned) returns to the
+// staging pool once replaced.
+func (rs *reshapePlan) completeAsync(ctx execCtx, f *Field, req *mpisim.CollRequest, recycle bool) {
 	recv := rs.group.WaitColl(req)
 	var newData [][]complex128
 	if !f.Phantom() {
-		newData = [][]complex128{make([]complex128, rs.to.Volume())}
+		newData = [][]complex128{getBuf[complex128](rs.to.Volume())}
 	}
 	recvBytes := 0
 	for gi := range recv {
@@ -163,19 +172,26 @@ func (rs *reshapePlan) completeAsync(ctx execCtx, f *Field, req *mpisim.CollRequ
 		recvBytes += 16 * vol
 		if newData != nil {
 			unpackBufInto(rs, newData, gi, recv[gi])
+			recycleRecv[complex128](recv[gi])
 		}
 	}
 	ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
 	f.Box = rs.to
 	if newData != nil {
+		if recycle {
+			putBuf(f.Data)
+		}
 		f.Data = newData[0]
 	}
 }
 
 // completeAsyncNone updates an uninvolved rank's field to the target box.
-func completeAsyncNone(rs *reshapePlan, f *Field) {
+func completeAsyncNone(rs *reshapePlan, f *Field, recycle bool) {
 	f.Box = rs.to
 	if !f.Phantom() {
-		f.Data = make([]complex128, rs.to.Volume())
+		if recycle {
+			putBuf(f.Data)
+		}
+		f.Data = getBuf[complex128](rs.to.Volume())
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fft"
 	"repro/internal/gpu"
 	"repro/internal/model"
 	"repro/internal/mpisim"
@@ -39,6 +40,11 @@ type Plan struct {
 	lp int
 	// p, q is the pencil grid actually used.
 	p, q int
+
+	// one is the single-field batch scratch of Forward/Inverse, so the
+	// steady-state execution path performs no allocations.
+	one    [1]*Field
+	closed bool
 }
 
 type stageKind int
@@ -54,6 +60,7 @@ type stage struct {
 	rs    *reshapePlan // stageReshape
 	axis  int          // stageFFT1D: transform axis
 	myBox tensor.Box3  // local box during a compute stage
+	fplan *fft.Plan    // stageFFT1D: kernel plan, resolved at build time
 }
 
 // NewPlan collectively creates a plan. Every rank of c must call NewPlan with
@@ -62,7 +69,7 @@ func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
 	size := c.Size()
 	for d := 0; d < 3; d++ {
 		if cfg.Global[d] < 1 {
-			return nil, fmt.Errorf("core: invalid global grid %v", cfg.Global)
+			return nil, fmt.Errorf("core: %w: invalid global grid %v", ErrBadConfig, cfg.Global)
 		}
 	}
 	inBoxes := cfg.InBoxes
@@ -74,7 +81,7 @@ func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
 		outBoxes = DefaultBricks(size, cfg.Global)
 	}
 	if len(inBoxes) != size || len(outBoxes) != size {
-		return nil, fmt.Errorf("core: got %d in / %d out boxes for %d ranks", len(inBoxes), len(outBoxes), size)
+		return nil, fmt.Errorf("core: %w: got %d in / %d out boxes for %d ranks", ErrMismatchedBoxes, len(inBoxes), len(outBoxes), size)
 	}
 	// Box validation is O(ranks²); memoize it per world so it runs once, not
 	// once per rank (pure function of the boxes, content-keyed).
@@ -92,10 +99,10 @@ func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
 		return nil
 	}
 	if err := validate(inBoxes); err != nil {
-		return nil, fmt.Errorf("input boxes: %w", err)
+		return nil, fmt.Errorf("core: %w: input boxes: %w", ErrMismatchedBoxes, err)
 	}
 	if err := validate(outBoxes); err != nil {
-		return nil, fmt.Errorf("output boxes: %w", err)
+		return nil, fmt.Errorf("core: %w: output boxes: %w", ErrMismatchedBoxes, err)
 	}
 
 	p := &Plan{
@@ -128,7 +135,7 @@ func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
 	if p.p <= 0 || p.q <= 0 {
 		p.p, p.q = tensor.Square2D(p.lp)
 	} else if p.p*p.q != p.lp {
-		return nil, fmt.Errorf("core: pencil grid %dx%d does not match %d active ranks", p.p, p.q, p.lp)
+		return nil, fmt.Errorf("core: %w: pencil grid %dx%d does not match %d active ranks", ErrBadConfig, p.p, p.q, p.lp)
 	}
 
 	// Resolve the decomposition.
@@ -174,7 +181,12 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		cur = target
 	}
 	addFFT1D := func(axis int) {
-		p.stages = append(p.stages, stage{kind: stageFFT1D, axis: axis, myBox: cur[p.comm.Rank()]})
+		p.stages = append(p.stages, stage{
+			kind: stageFFT1D, axis: axis, myBox: cur[p.comm.Rank()],
+			// Resolve the 1-D kernel plan now so execution never takes the
+			// plan-cache lock; twiddle tables are shared across all lookups.
+			fplan: fft.NewPlan(p.global[axis]),
+		})
 	}
 
 	switch p.decomp {
@@ -211,8 +223,18 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		addReshape(outBoxes, "output")
 
 	default:
-		return fmt.Errorf("core: unresolved decomposition %v", p.decomp)
+		return fmt.Errorf("core: %w: unresolved decomposition %v", ErrBadConfig, p.decomp)
 	}
+	return nil
+}
+
+// Close marks the plan unusable and drops its execution scratch; subsequent
+// executions return ErrPlanClosed. Close is idempotent and local to this
+// rank. Staging buffers are pooled process-wide, so closing one plan never
+// disturbs others.
+func (p *Plan) Close() error {
+	p.closed = true
+	p.one[0] = nil
 	return nil
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is on. The allocation
+// regression tests skip under -race: the detector instruments allocations and
+// sync.Pool drops entries, so steady-state counts are not meaningful there.
+const raceEnabled = true

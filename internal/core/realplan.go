@@ -64,10 +64,18 @@ type RealPlan struct {
 	zBoxReal tensor.Box3 // my real z-pencil box
 	zBoxHalf tensor.Box3 // my half-grid z-pencil box
 
-	// Complex stages from half-grid z-pencils to OutBoxes (forward order).
-	stages []stage
+	// Complex stages from half-grid z-pencils to OutBoxes (forward order),
+	// plus the precomputed reversed pipeline used by InverseBatch — built once
+	// here so repeated inverse transforms construct nothing.
+	stages     []stage
+	revStages  []stage
+	outReshape *reshapePlan // reversed inReshape: real z-pencils → InBoxes
 
-	p, q int
+	// rplan is the cached 1-D real-to-complex kernel plan along axis 2.
+	rplan *fft.RealPlan
+
+	p, q   int
+	closed bool
 }
 
 // NewRealPlan collectively creates an R2C plan; all ranks pass identical
@@ -76,11 +84,11 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 	size := c.Size()
 	for d := 0; d < 3; d++ {
 		if cfg.Global[d] < 1 {
-			return nil, fmt.Errorf("core: invalid global grid %v", cfg.Global)
+			return nil, fmt.Errorf("core: %w: invalid global grid %v", ErrBadConfig, cfg.Global)
 		}
 	}
 	if cfg.Global[2]%2 != 0 {
-		return nil, fmt.Errorf("core: R2C needs an even N2, got %d", cfg.Global[2])
+		return nil, fmt.Errorf("core: %w: R2C needs an even N2, got %d", ErrBadConfig, cfg.Global[2])
 	}
 	half := [3]int{cfg.Global[0], cfg.Global[1], cfg.Global[2]/2 + 1}
 
@@ -93,13 +101,13 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 		outBoxes = DefaultBricks(size, half)
 	}
 	if len(inBoxes) != size || len(outBoxes) != size {
-		return nil, fmt.Errorf("core: got %d in / %d out boxes for %d ranks", len(inBoxes), len(outBoxes), size)
+		return nil, fmt.Errorf("core: %w: got %d in / %d out boxes for %d ranks", ErrMismatchedBoxes, len(inBoxes), len(outBoxes), size)
 	}
 	if err := validateBoxes(cfg.Global, inBoxes); err != nil {
-		return nil, fmt.Errorf("input boxes: %w", err)
+		return nil, fmt.Errorf("core: %w: input boxes: %w", ErrMismatchedBoxes, err)
 	}
 	if err := validateBoxes(half, outBoxes); err != nil {
-		return nil, fmt.Errorf("output boxes: %w", err)
+		return nil, fmt.Errorf("core: %w: output boxes: %w", ErrMismatchedBoxes, err)
 	}
 
 	p := &RealPlan{
@@ -115,8 +123,13 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 	if p.p <= 0 || p.q <= 0 {
 		p.p, p.q = tensor.Square2D(size)
 	} else if p.p*p.q != size {
-		return nil, fmt.Errorf("core: pencil grid %dx%d does not match %d ranks", p.p, p.q, size)
+		return nil, fmt.Errorf("core: %w: pencil grid %dx%d does not match %d ranks", ErrBadConfig, p.p, p.q, size)
 	}
+	rp, err := fft.NewRealPlan(cfg.Global[2])
+	if err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrBadConfig, err)
+	}
+	p.rplan = rp
 
 	// Real z-pencils and their half-grid shadows share the P×Q grid, so the
 	// r2c stage is purely local.
@@ -141,14 +154,35 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 		cur = target
 	}
 	addFFT := func(axis int) {
-		p.stages = append(p.stages, stage{kind: stageFFT1D, axis: axis, myBox: cur[c.Rank()]})
+		p.stages = append(p.stages, stage{
+			kind: stageFFT1D, axis: axis, myBox: cur[c.Rank()],
+			fplan: fft.NewPlan(half[axis]),
+		})
 	}
 	addReshape(pencilBoxes(half, 1, p.p, p.q), "r2c-pencil-y")
 	addFFT(1)
 	addReshape(pencilBoxes(half, 0, p.p, p.q), "r2c-pencil-x")
 	addFFT(0)
 	addReshape(outBoxes, "r2c-output")
+
+	// Precompute the reversed pipeline for InverseBatch.
+	p.revStages = make([]stage, 0, len(p.stages))
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		st := p.stages[i]
+		if st.kind == stageReshape {
+			st = stage{kind: stageReshape, rs: reverseReshape(st.rs)}
+		}
+		p.revStages = append(p.revStages, st)
+	}
+	p.outReshape = reverseReshape(p.inReshape)
 	return p, nil
+}
+
+// Close marks the plan unusable; subsequent executions return ErrPlanClosed.
+// Close is idempotent and local to this rank.
+func (p *RealPlan) Close() error {
+	p.closed = true
+	return nil
 }
 
 // InBox returns this rank's real-grid input box; OutBox the half-grid output
@@ -175,6 +209,9 @@ func (p *RealPlan) Forward(rf *RealField) (*Field, error) {
 // ForwardBatch transforms a batch of real fields through fused exchanges,
 // like Plan.ForwardBatch (the Fig. 13 batching feature, here for R2C).
 func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
+	if p.closed {
+		return nil, fmt.Errorf("core: %w", ErrPlanClosed)
+	}
 	if len(rfs) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
@@ -192,10 +229,12 @@ func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
 	}
 
 	// Move the real data to z-pencils (half the bytes of a complex reshape).
-	p.inReshape.runReal(p.ctx(), rfs)
+	// The caller still owns the brick arrays, so they are not recycled.
+	p.inReshape.runReal(p.ctx(), rfs, false)
 
 	// Local r2c along axis 2, then the complex pipeline with fused
-	// exchanges.
+	// exchanges. r2cLocal draws the half-spectrum arrays from the staging
+	// pool, so every complex reshape recycles the arrays it replaces.
 	fields := make([]*Field, len(rfs))
 	for i, rf := range rfs {
 		fields[i] = p.r2cLocal(rf)
@@ -204,7 +243,7 @@ func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
 	for _, st := range p.stages {
 		switch st.kind {
 		case stageReshape:
-			st.rs.run(p.ctx(), fields)
+			st.rs.run(p.ctx(), fields, true)
 		case stageFFT1D:
 			for _, f := range fields {
 				p.fft1D(st, f, dir)
@@ -231,6 +270,9 @@ func (p *RealPlan) Inverse(f *Field) (*RealField, error) {
 
 // InverseBatch is the batched complex-to-real transform.
 func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
+	if p.closed {
+		return nil, fmt.Errorf("core: %w", ErrPlanClosed)
+	}
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
@@ -240,13 +282,15 @@ func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
 		}
 	}
 	dir := fft.Inverse
-	// Walk the complex pipeline backwards.
-	for i := len(p.stages) - 1; i >= 0; i-- {
-		st := p.stages[i]
+	// Walk the precomputed reversed pipeline. The caller owns the input
+	// arrays; anything a reshape produced mid-pipeline is pool-drawn and
+	// recycled when the next reshape replaces it.
+	recycle := false
+	for _, st := range p.revStages {
 		switch st.kind {
 		case stageReshape:
-			rev := p.reverseReshape(st.rs)
-			rev.run(p.ctx(), fields)
+			st.rs.run(p.ctx(), fields, recycle)
+			recycle = true
 		case stageFFT1D:
 			for _, f := range fields {
 				p.fft1D(st, f, dir)
@@ -260,14 +304,13 @@ func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
 		}
 		rfs[i] = p.c2rLocal(f)
 	}
-	rev := p.reverseReshape(p.inReshape)
-	rev.runReal(p.ctx(), rfs)
+	p.outReshape.runReal(p.ctx(), rfs, true)
 	return rfs, nil
 }
 
 // reverseReshape returns the reshape with source and destination swapped.
 // Group structure and member lists are identical; only the box roles flip.
-func (p *RealPlan) reverseReshape(rs *reshapePlan) *reshapePlan {
+func reverseReshape(rs *reshapePlan) *reshapePlan {
 	rev := &reshapePlan{
 		label: rs.label + "-rev", tag: rs.tag + 50,
 		from: rs.to, to: rs.from,
@@ -296,11 +339,9 @@ func (p *RealPlan) r2cLocal(rf *RealField) *Field {
 	if rf.Phantom() {
 		return out
 	}
-	plan, err := fft.NewRealPlan(n2)
-	if err != nil {
-		panic(err) // validated even at plan creation
-	}
-	out.Data = make([]complex128, p.zBoxHalf.Volume())
+	plan := p.rplan
+	// Pool-drawn and fully overwritten: rows*h covers the volume exactly.
+	out.Data = getBuf[complex128](p.zBoxHalf.Volume())
 	for r := 0; r < rows; r++ {
 		spec, err := plan.Forward(rf.Data[r*n2 : (r+1)*n2])
 		if err != nil {
@@ -321,11 +362,8 @@ func (p *RealPlan) c2rLocal(f *Field) *RealField {
 	if f.Phantom() {
 		return rf
 	}
-	plan, err := fft.NewRealPlan(n2)
-	if err != nil {
-		panic(err)
-	}
-	rf.Data = make([]float64, p.zBoxReal.Volume())
+	plan := p.rplan
+	rf.Data = getBuf[float64](p.zBoxReal.Volume())
 	for r := 0; r < rows; r++ {
 		x, err := plan.Inverse(f.Data[r*h : (r+1)*h])
 		if err != nil {
@@ -347,7 +385,7 @@ func (p *RealPlan) fft1D(st stage, f *Field, dir fft.Direction) {
 	batch := box.Volume() / n
 	strided := st.axis != 2 && !p.opts.Contiguous
 	if !f.Phantom() {
-		plan := fft.NewPlan(n)
+		plan := st.fplan
 		switch st.axis {
 		case 1:
 			for i0 := 0; i0 < s[0]; i0++ {

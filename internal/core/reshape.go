@@ -143,7 +143,12 @@ func hashBoxes(lists ...[]tensor.Box3) uint64 {
 // run executes the exchange for a batch of complex fields (all sharing the
 // same distribution). Batch payloads are fused into single messages per pair
 // — the mechanism behind the batched-transform speedups of Fig. 13.
-func (rs *reshapePlan) run(ctx execCtx, fields []*Field) {
+//
+// recycleIn marks the fields' current arrays as plan-owned (produced by an
+// earlier reshape of the same execution): they are returned to the staging
+// pool once packed. The arrays of the very first reshape belong to the
+// caller and are never recycled.
+func (rs *reshapePlan) run(ctx execCtx, fields []*Field, recycleIn bool) {
 	datas := make([][]complex128, len(fields))
 	for i, f := range fields {
 		if !f.Box.Equal(rs.from) {
@@ -151,7 +156,7 @@ func (rs *reshapePlan) run(ctx execCtx, fields []*Field) {
 		}
 		datas[i] = f.Data
 	}
-	out := runReshape(rs, ctx, datas, fields[0].Phantom())
+	out := runReshape(rs, ctx, datas, fields[0].Phantom(), recycleIn)
 	for i, f := range fields {
 		f.Box = rs.to
 		if out != nil {
@@ -163,7 +168,7 @@ func (rs *reshapePlan) run(ctx execCtx, fields []*Field) {
 // runReal is the float64 flavour, used for the input/output reshapes of
 // real-to-complex transforms: real elements are 8 bytes, so these phases
 // move half the bytes of their complex counterparts.
-func (rs *reshapePlan) runReal(ctx execCtx, fields []*RealField) {
+func (rs *reshapePlan) runReal(ctx execCtx, fields []*RealField, recycleIn bool) {
 	datas := make([][]float64, len(fields))
 	for i, f := range fields {
 		if !f.Box.Equal(rs.from) {
@@ -171,7 +176,7 @@ func (rs *reshapePlan) runReal(ctx execCtx, fields []*RealField) {
 		}
 		datas[i] = f.Data
 	}
-	out := runReshape(rs, ctx, datas, fields[0].Phantom())
+	out := runReshape(rs, ctx, datas, fields[0].Phantom(), recycleIn)
 	for i, f := range fields {
 		f.Box = rs.to
 		if out != nil {
@@ -230,7 +235,7 @@ func elemBytes[T any]() int {
 // datas[i] is batch entry i's local array over rs.from (nil slices for
 // phantom batches); the return value holds the new arrays over rs.to (nil
 // for phantom).
-func runReshape[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) [][]T {
+func runReshape[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool) [][]T {
 	if rs.group == nil {
 		// Not involved: the local share simply becomes empty (or stays
 		// untouched when this rank re-enters later via another stage).
@@ -239,14 +244,36 @@ func runReshape[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) 
 		}
 		out := make([][]T, len(datas))
 		for i := range out {
-			out[i] = make([]T, rs.to.Volume())
+			out[i] = getBuf[T](rs.to.Volume())
 		}
+		recycleDatas(datas, recycleIn)
 		return out
 	}
 	if ctx.opts.Backend.Collective() {
-		return runReshapeCollective(rs, ctx, datas, phantom)
+		return runReshapeCollective(rs, ctx, datas, phantom, recycleIn)
 	}
-	return runReshapeP2P(rs, ctx, datas, phantom)
+	return runReshapeP2P(rs, ctx, datas, phantom, recycleIn)
+}
+
+// recycleDatas returns plan-owned input arrays to the staging pool once their
+// contents have been packed into send buffers. Arrays still owned by the
+// caller (recycle == false) are left alone.
+func recycleDatas[T any](datas [][]T, recycle bool) {
+	if !recycle {
+		return
+	}
+	for i, d := range datas {
+		putBuf(d)
+		datas[i] = nil
+	}
+}
+
+// recycleRecv returns a received payload to the staging pool. Only buffers
+// shipped with Move are plan-owned; anything else is left untouched.
+func recycleRecv[T any](b mpisim.Buf) {
+	if b.Move && (b.Data != nil || b.Real != nil) {
+		putBuf(bufSlice[T](b))
+	}
 }
 
 // packSendBufs builds the per-member send buffers, fusing the batch.
@@ -268,13 +295,17 @@ func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.B
 			bufs[gi] = mkBuf[T](nil, elems)
 			continue
 		}
-		data := make([]T, elems)
+		data := getBuf[T](elems)
 		off := 0
 		for _, d := range datas {
 			tensor.Pack(d, rs.from, sb, data[off:off+vol])
 			off += vol
 		}
+		// Pack buffers are shipped with Move: the receiver takes ownership
+		// and returns them to the pool after unpacking, so no defensive copy
+		// is made anywhere on the path.
 		bufs[gi] = mkBuf(data, 0)
+		bufs[gi].Move = true
 	}
 	return bufs, totalBytes
 }
@@ -294,13 +325,16 @@ func unpackBufInto[T any](rs *reshapePlan, newData [][]T, gi int, buf mpisim.Buf
 	}
 }
 
+// allocNewArrays draws the target-distribution arrays from the staging pool.
+// They are not zeroed: the receive boxes of a group tile rs.to exactly (the
+// source boxes tile the global grid), so unpacking overwrites every element.
 func allocNewArrays[T any](rs *reshapePlan, n int, phantom bool) [][]T {
 	if phantom {
 		return nil
 	}
 	out := make([][]T, n)
 	for i := range out {
-		out[i] = make([]T, rs.to.Volume())
+		out[i] = getBuf[T](rs.to.Volume())
 	}
 	return out
 }
@@ -310,9 +344,10 @@ func allocNewArrays[T any](rs *reshapePlan, n int, phantom bool) [][]T {
 // (Algorithm 1); MPI_Alltoallw (Algorithm 2) hands the library derived
 // sub-array datatypes, eliminating the pack/unpack kernels but paying the
 // naive, non-GPU-aware transport.
-func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) [][]T {
+func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool) [][]T {
 	useW := ctx.opts.Backend == BackendAlltoallw
 	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	recycleDatas(datas, recycleIn)
 	if !useW {
 		ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
 	}
@@ -339,6 +374,7 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 		recvBytes += eb * vol * len(datas)
 		if newData != nil {
 			unpackBufInto(rs, newData, gi, recv[gi])
+			recycleRecv[T](recv[gi])
 		}
 	}
 	if !useW {
@@ -351,7 +387,7 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 // MPI_Isend/MPI_Irecv/Waitany (non-blocking) or MPI_Send/MPI_Irecv
 // (blocking). Receives are posted first, sends streamed, and arrivals
 // unpacked as they complete.
-func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) [][]T {
+func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool) [][]T {
 	g := rs.group
 	gs := g.Size()
 	me := rs.myGroupRank
@@ -368,6 +404,7 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom boo
 	}
 
 	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	recycleDatas(datas, recycleIn)
 	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
 
 	// Stream the sends.
@@ -390,6 +427,7 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom boo
 	if self := rs.sends[me]; !self.Empty() {
 		if newData != nil {
 			unpackBufInto(rs, newData, me, bufs[me])
+			recycleRecv[T](bufs[me])
 		}
 		ctx.dev.Unpack(eb*self.Volume()*len(datas), ctx.opts.Contiguous)
 	}
@@ -399,6 +437,7 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom boo
 		i, buf := g.Waitany(rreqs)
 		if newData != nil {
 			unpackBufInto(rs, newData, rsrcs[i], buf)
+			recycleRecv[T](buf)
 		}
 		ctx.dev.Unpack(buf.Bytes(), ctx.opts.Contiguous)
 	}

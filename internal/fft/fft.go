@@ -48,7 +48,26 @@ type Plan struct {
 
 	// Bluestein machinery (nil when n is a power of two).
 	bluestein *bluesteinPlan
+
+	// scratch recycles per-transform work buffers (the Bluestein convolution
+	// buffer and the gather/scatter buffer of strided batches) so steady-state
+	// transforms allocate nothing. Buffers are scratchLen long: the Bluestein
+	// length m when the plan is a Bluestein plan, n otherwise.
+	scratch    sync.Pool // *[]complex128, len scratchLen
+	scratchLen int
 }
+
+// getScratch returns a zero-filled-on-demand work buffer of length
+// p.scratchLen (callers must not assume the contents are zero).
+func (p *Plan) getScratch() *[]complex128 {
+	if v := p.scratch.Get(); v != nil {
+		return v.(*[]complex128)
+	}
+	buf := make([]complex128, p.scratchLen)
+	return &buf
+}
+
+func (p *Plan) putScratch(b *[]complex128) { p.scratch.Put(b) }
 
 type bluesteinPlan struct {
 	m     int          // power-of-two length >= 2n-1
@@ -60,32 +79,50 @@ type bluesteinPlan struct {
 }
 
 var (
-	planCacheMu sync.Mutex
+	planCacheMu sync.RWMutex
 	planCache   = map[int]*Plan{}
 )
 
 // NewPlan returns a plan for transforms of length n, caching plans so that
 // repeated requests for the same length are cheap. n must be >= 1.
+//
+// The cache is safe under concurrent rank goroutines: lookups take only a
+// read lock (the steady-state path allocates nothing), and plan construction
+// happens outside the lock, with the first finished builder winning so every
+// caller observes one canonical plan per length. Bluestein plans obtain their
+// power-of-two sub-plan through the same cache, so twiddle and bit-reversal
+// tables are shared across plan lookups instead of being recomputed.
 func NewPlan(n int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid transform length %d", n))
 	}
-	planCacheMu.Lock()
-	defer planCacheMu.Unlock()
-	if p, ok := planCache[n]; ok {
+	planCacheMu.RLock()
+	p := planCache[n]
+	planCacheMu.RUnlock()
+	if p != nil {
 		return p
 	}
-	p := newPlanUncached(n)
-	planCache[n] = p
+	// Build outside the lock: initBluestein recursively calls NewPlan for its
+	// power-of-two sub-plan. Concurrent builders of the same length are
+	// deduplicated below (construction is a pure function of n).
+	p = newPlanUncached(n)
+	planCacheMu.Lock()
+	if q := planCache[n]; q != nil {
+		p = q
+	} else {
+		planCache[n] = p
+	}
+	planCacheMu.Unlock()
 	return p
 }
 
 func newPlanUncached(n int) *Plan {
-	p := &Plan{n: n}
+	p := &Plan{n: n, scratchLen: n}
 	if isPow2(n) {
 		p.initPow2()
 	} else {
 		p.initBluestein()
+		p.scratchLen = p.bluestein.m
 	}
 	return p
 }
@@ -126,7 +163,7 @@ func (p *Plan) initPow2() {
 func (p *Plan) initBluestein() {
 	n := p.n
 	b := &bluesteinPlan{m: nextPow2(2*n - 1)}
-	b.sub = newPlanUncached(b.m)
+	b.sub = NewPlan(b.m)
 	b.chirp = make([]complex128, n)
 	for k := 0; k < n; k++ {
 		// Use k² mod 2n to keep the argument small and the chirp exact.
@@ -201,7 +238,12 @@ func (p *Plan) transformPow2(data []complex128, dir Direction) {
 func (p *Plan) transformBluestein(data []complex128, dir Direction) {
 	b := p.bluestein
 	n := p.n
-	a := make([]complex128, b.m)
+	sp := p.getScratch()
+	defer p.putScratch(sp)
+	a := (*sp)[:b.m]
+	// The convolution relies on zero padding beyond n; pooled buffers carry
+	// stale data, so clear the tail explicitly.
+	clear(a[n:])
 	for k := 0; k < n; k++ {
 		c := b.chirp[k]
 		if dir == Inverse {
@@ -244,6 +286,10 @@ func scale(data []complex128, s float64) {
 // to a contiguous scratch buffer, transformed, and scattered back; numerics
 // are identical to the contiguous path (the *cost* difference of strided GPU
 // kernels is modelled in internal/gpu).
+//
+// Large batches are executed in parallel on a bounded worker pool shared by
+// every rank goroutine of the process (see Workers); the lines of one batch
+// touch disjoint elements, so results are bit-identical to serial execution.
 func (p *Plan) TransformBatch(data []complex128, stride, dist, batch int, dir Direction) {
 	if batch == 0 {
 		return
@@ -251,24 +297,35 @@ func (p *Plan) TransformBatch(data []complex128, stride, dist, batch int, dir Di
 	if stride < 1 || dist < 0 || batch < 0 {
 		panic(fmt.Sprintf("fft: invalid batch layout stride=%d dist=%d batch=%d", stride, dist, batch))
 	}
-	n := p.n
-	if stride == 1 {
-		for b := 0; b < batch; b++ {
-			p.Transform(data[b*dist:b*dist+n], dir)
+	if batch > 1 && batch*p.n >= minParallelWork {
+		if p.transformBatchParallel(data, stride, dist, batch, dir) {
+			return
 		}
+	}
+	for b := 0; b < batch; b++ {
+		p.transformLine(data, stride, dist, b, dir)
+	}
+}
+
+// transformLine runs batch entry b of a (stride, dist) layout: directly for
+// unit stride, via a pooled gather/scatter buffer otherwise.
+func (p *Plan) transformLine(data []complex128, stride, dist, b int, dir Direction) {
+	n := p.n
+	base := b * dist
+	if stride == 1 {
+		p.Transform(data[base:base+n], dir)
 		return
 	}
-	scratch := make([]complex128, n)
-	for b := 0; b < batch; b++ {
-		base := b * dist
-		for i := 0; i < n; i++ {
-			scratch[i] = data[base+i*stride]
-		}
-		p.Transform(scratch, dir)
-		for i := 0; i < n; i++ {
-			data[base+i*stride] = scratch[i]
-		}
+	sp := p.getScratch()
+	scratch := (*sp)[:n]
+	for i := 0; i < n; i++ {
+		scratch[i] = data[base+i*stride]
 	}
+	p.Transform(scratch, dir)
+	for i := 0; i < n; i++ {
+		data[base+i*stride] = scratch[i]
+	}
+	p.putScratch(sp)
 }
 
 // Transform1D is a convenience wrapper computing a single contiguous 1-D

@@ -1,0 +1,152 @@
+package fft
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-rank parallel batch execution. The simulator runs every MPI rank as a
+// goroutine, so on a many-core host the rank goroutines already provide
+// coarse parallelism; this pool adds fine-grained parallelism *within* one
+// rank's batched kernel without oversubscribing the machine: one bounded set
+// of helper goroutines, sized by GOMAXPROCS and shared across all rank
+// goroutines of the process. Work is handed off without blocking — if every
+// helper is busy serving another rank, the caller simply computes its whole
+// batch itself, so the pool is work-conserving and can never deadlock.
+
+// minParallelWork is the minimum batch*n element count before TransformBatch
+// considers fanning out; below it the handoff overhead dominates.
+const minParallelWork = 1 << 14
+
+var (
+	workerMu      sync.Mutex
+	workerTarget  = runtime.GOMAXPROCS(0) // total parallelism per batch (caller + helpers)
+	workerSpawned int
+	jobCh         = make(chan *batchJob)
+
+	jobFreeMu sync.Mutex
+	jobFree   []*batchJob // plain free list: immune to GC, steady state allocates nothing
+)
+
+// Workers returns the current parallelism bound of the shared batch pool.
+func Workers() int {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	return workerTarget
+}
+
+// SetWorkers bounds the total parallelism (calling goroutine plus helpers) a
+// single TransformBatch may use, and returns the previous bound. The default
+// is GOMAXPROCS at package init. n < 1 is treated as 1 (serial execution).
+// Helper goroutines are started lazily and shared by every plan and rank.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	prev := workerTarget
+	workerTarget = n
+	return prev
+}
+
+// batchJob describes one parallel TransformBatch execution. Helpers and the
+// caller claim lines through the shared atomic cursor; wg tracks helper
+// completion. Jobs are recycled through jobFree.
+type batchJob struct {
+	plan         *Plan
+	data         []complex128
+	stride, dist int
+	dir          Direction
+	batch        int
+	next         atomic.Int64
+	wg           sync.WaitGroup
+}
+
+func (j *batchJob) run() {
+	for {
+		b := int(j.next.Add(1)) - 1
+		if b >= j.batch {
+			return
+		}
+		j.plan.transformLine(j.data, j.stride, j.dist, b, j.dir)
+	}
+}
+
+func getJob() *batchJob {
+	jobFreeMu.Lock()
+	defer jobFreeMu.Unlock()
+	if n := len(jobFree); n > 0 {
+		j := jobFree[n-1]
+		jobFree = jobFree[:n-1]
+		return j
+	}
+	return &batchJob{}
+}
+
+func putJob(j *batchJob) {
+	j.plan = nil
+	j.data = nil
+	j.next.Store(0)
+	jobFreeMu.Lock()
+	jobFree = append(jobFree, j)
+	jobFreeMu.Unlock()
+}
+
+func worker() {
+	for j := range jobCh {
+		j.run()
+		j.wg.Done()
+	}
+}
+
+// ensureHelpers spawns up to want persistent helper goroutines (process-wide)
+// and returns how many helpers this batch may use.
+func ensureHelpers(batch int) int {
+	workerMu.Lock()
+	want := workerTarget - 1
+	if want > batch-1 {
+		want = batch - 1
+	}
+	for workerSpawned < workerTarget-1 {
+		workerSpawned++
+		go worker()
+	}
+	workerMu.Unlock()
+	return want
+}
+
+// transformBatchParallel fans the batch out over the shared pool. It reports
+// false when no parallelism is available so the caller falls back to the
+// serial loop without paying for a job.
+func (p *Plan) transformBatchParallel(data []complex128, stride, dist, batch int, dir Direction) bool {
+	want := ensureHelpers(batch)
+	if want <= 0 {
+		return false
+	}
+	j := getJob()
+	j.plan = p
+	j.data = data
+	j.stride = stride
+	j.dist = dist
+	j.dir = dir
+	j.batch = batch
+	j.next.Store(0)
+	// Non-blocking handoff: recruit only helpers that are parked right now.
+	// A busy pool degrades gracefully to the caller computing alone.
+recruit:
+	for i := 0; i < want; i++ {
+		j.wg.Add(1)
+		select {
+		case jobCh <- j:
+		default:
+			j.wg.Done()
+			break recruit
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	putJob(j)
+	return true
+}

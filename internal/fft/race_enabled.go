@@ -1,0 +1,7 @@
+//go:build race
+
+package fft
+
+// raceEnabled reports whether the race detector is active; sync.Pool drops
+// entries randomly under -race, so allocation-count tests are skipped there.
+const raceEnabled = true

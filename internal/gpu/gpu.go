@@ -9,8 +9,6 @@
 package gpu
 
 import (
-	"fmt"
-
 	"repro/internal/machine"
 	"repro/internal/mpisim"
 	"repro/internal/trace"
@@ -21,8 +19,13 @@ type Device struct {
 	comm  *mpisim.Comm
 	model *machine.GPU
 	// fftName is the vendor library name used in trace events: cuFFT on
-	// V100 machines, rocFFT on MI100 (Fig. 13 uses both).
-	fftName string
+	// V100 machines, rocFFT on MI100 (Fig. 13 uses both). The per-kernel
+	// event names are precomputed so charging a kernel on the execution hot
+	// path performs no allocations.
+	fftName               string
+	name1D, name1DStrided string
+	name2D, name2DStrided string
+	nameR2C               string
 }
 
 // New returns the device of the calling rank.
@@ -32,7 +35,12 @@ func New(c *mpisim.Comm) *Device {
 	if g.Name == "MI100" {
 		name = "rocfft"
 	}
-	return &Device{comm: c, model: g, fftName: name}
+	return &Device{
+		comm: c, model: g, fftName: name,
+		name1D: name + "_1d", name1DStrided: name + "_1d_strided",
+		name2D: name + "_2d", name2DStrided: name + "_2d_strided",
+		nameR2C: name + "_r2c",
+	}
 }
 
 // Model returns the underlying GPU cost model.
@@ -56,11 +64,11 @@ func (d *Device) FFT1D(n, batch int, strided bool) {
 	if batch == 0 {
 		return
 	}
-	suffix := ""
+	name := d.name1D
 	if strided {
-		suffix = "_strided"
+		name = d.name1DStrided
 	}
-	d.charge(fmt.Sprintf("%s_1d%s", d.fftName, suffix), d.model.FFT1DCost(n, batch, strided), 16*n*batch)
+	d.charge(name, d.model.FFT1DCost(n, batch, strided), 16*n*batch)
 }
 
 // FFTR2C charges a batch of real-to-complex (or complex-to-real) 1-D
@@ -69,7 +77,7 @@ func (d *Device) FFTR2C(n, batch int) {
 	if batch == 0 {
 		return
 	}
-	d.charge(fmt.Sprintf("%s_r2c", d.fftName), d.model.FFTR2CCost(n, batch), 8*n*batch)
+	d.charge(d.nameR2C, d.model.FFTR2CCost(n, batch), 8*n*batch)
 }
 
 // FFT2D charges a batch of 2-D n0×n1 transforms (slab decomposition).
@@ -77,11 +85,11 @@ func (d *Device) FFT2D(n0, n1, batch int, strided bool) {
 	if batch == 0 {
 		return
 	}
-	suffix := ""
+	name := d.name2D
 	if strided {
-		suffix = "_strided"
+		name = d.name2DStrided
 	}
-	d.charge(fmt.Sprintf("%s_2d%s", d.fftName, suffix), d.model.FFT2DCost(n0, n1, batch, strided), 16*n0*n1*batch)
+	d.charge(name, d.model.FFT2DCost(n0, n1, batch, strided), 16*n0*n1*batch)
 }
 
 // Pack charges a packing kernel over the given bytes. transposed marks the

@@ -78,8 +78,9 @@ func (c *Comm) Send(dst, tag int, b Buf) {
 }
 
 // Isend is a non-blocking send; the returned request completes (buffer
-// reusable) when the port drains. Payload data is copied eagerly, so the
-// caller may overwrite its buffer immediately in real time — virtual-time
+// reusable) when the port drains. Payload data is copied eagerly (unless the
+// buffer is sent with Move, which hands the receiver the backing array), so
+// the caller may overwrite its buffer immediately in real time — virtual-time
 // semantics still charge the port at Wait.
 func (c *Comm) Isend(dst, tag int, b Buf) *Request {
 	st := c.state()

@@ -36,6 +36,13 @@ type Buf struct {
 	// PhantomReal marks a phantom buffer as real-valued (8 bytes/element).
 	PhantomReal bool
 	Loc         machine.Location
+	// Move transfers buffer ownership to the receiver: the simulator skips
+	// the defensive deep copy it otherwise performs to honour MPI buffer
+	// semantics ("sender may reuse its buffer after the call returns"). Set
+	// it only when the sender never touches the payload again — the staging
+	// buffers of the FFT reshape phases are the canonical case. The receiver
+	// owns a moved buffer outright and may recycle it.
+	Move bool
 }
 
 // Elems reports the number of elements in the buffer.
@@ -63,8 +70,14 @@ func (b Buf) Bytes() int {
 func (b Buf) Phantom() bool { return b.Data == nil && b.Real == nil }
 
 // clone returns a deep copy so senders may reuse their buffers immediately,
-// matching MPI buffer semantics.
+// matching MPI buffer semantics. Buffers sent with Move skip the copy: the
+// sender has relinquished ownership, so the payload travels by reference (the
+// common case on the FFT hot path, where pack buffers are built per exchange
+// and never touched again).
 func (b Buf) clone() Buf {
+	if b.Move {
+		return b
+	}
 	switch {
 	case b.Data != nil:
 		d := make([]complex128, len(b.Data))
