@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race bench bench-forward examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-serve smoke-serve examples experiments quick-experiments
 
 all: build vet test
 
@@ -20,7 +20,12 @@ test:
 test-race:
 	go test -race ./internal/mpisim/ ./internal/core/ ./internal/trace/ ./internal/fft/
 
-race: test-race
+# The serving layer multiplexes many submitters onto shared engines; its
+# scheduler, plan cache, and cancellation paths are all cross-goroutine.
+race-serve:
+	go test -race ./heffte/serve/ ./internal/sched/
+
+race: test-race race-serve
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -30,12 +35,22 @@ bench:
 bench-forward:
 	go test -run '^$$' -bench 'BenchmarkForward' -benchmem -benchtime 5x .
 
+# Coalescing-service throughput vs one-plan-per-request under identical
+# open-loop load (the BENCH_PR2.json numbers).
+bench-serve:
+	go run ./cmd/fftserve -bench -ranks 128 -workers 1 -clients 32 -duration 8s -json BENCH_PR2.json
+
+# Fast self-checking pass over the serving layer (used by CI).
+smoke-serve:
+	go run ./cmd/fftserve -smoke
+
 examples:
 	go run ./examples/quickstart
 	go run ./examples/real_transform
 	go run ./examples/turbulence
 	go run ./examples/tuning
 	go run ./examples/lammps_kspace
+	go run ./examples/serving
 
 # Paper-scale reproduction of every table and figure (~10 minutes).
 experiments:

@@ -26,5 +26,14 @@
 // virtual-time results are unchanged — simulated costs depend only on bytes
 // and location, never on buffer ownership.
 //
+// One layer above the facade, heffte/serve turns the batched engine into a
+// concurrent FFT service: a long-lived Server coalesces same-shape requests
+// from independent goroutines into fused batched executions on a shape-keyed
+// LRU of resident plans, with admission control (ErrOverloaded), deadline
+// propagation (ErrDeadlineExceeded), and per-shape throughput/latency
+// instrumentation. The generic scheduler core lives in internal/sched;
+// cmd/fftserve drives synthetic open-loop load against it (BENCH_PR2.json
+// records the coalescing-vs-one-plan-per-request comparison).
+//
 // See README.md for a tour and DESIGN.md for the system inventory.
 package repro

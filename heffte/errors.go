@@ -1,12 +1,20 @@
 package heffte
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
 
-// Typed sentinel errors. Plan constructors wrap these with context (%w), so
-// callers classify failures with errors.Is instead of string matching:
+// Typed sentinel errors. Plan constructors and the serving layer wrap these
+// with context (%w), so callers classify failures with errors.Is instead of
+// string matching:
 //
 //	if _, err := heffte.NewPlan(c, cfg); errors.Is(err, heffte.ErrBadConfig) {
 //	    // fix the configuration, not the boxes
+//	}
+//
+//	if err := srv.Submit(ctx, req); errors.Is(err, heffte.ErrOverloaded) {
+//	    // shed load or retry with backoff
 //	}
 var (
 	// ErrBadConfig marks an invalid plan configuration (non-positive
@@ -18,4 +26,16 @@ var (
 	ErrMismatchedBoxes = core.ErrMismatchedBoxes
 	// ErrPlanClosed is returned when executing a plan after Close.
 	ErrPlanClosed = core.ErrPlanClosed
+
+	// ErrOverloaded is the serving layer's admission-control fast-fail: the
+	// server's bounded request queue is full and the request was rejected
+	// without waiting (serve.Server.Submit).
+	ErrOverloaded = sched.ErrOverloaded
+	// ErrDeadlineExceeded marks a served request whose context deadline
+	// expired before its batch started executing. It matches
+	// context.DeadlineExceeded through errors.Is as well.
+	ErrDeadlineExceeded = sched.ErrDeadlineExceeded
+	// ErrServerClosed is returned by Submit on a server that has been shut
+	// down.
+	ErrServerClosed = sched.ErrClosed
 )

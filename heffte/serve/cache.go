@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// engineCache is a refcounted LRU of resident engines (worlds + plans),
+// keyed by shape. Hot shapes stay resident across batches; cold shapes are
+// evicted — but never while a batch holds a reference, so eviction cannot
+// race in-flight executions. An entry evicted while referenced is detached
+// from the cache immediately and its engine closed by the final release.
+type engineCache struct {
+	mu      sync.Mutex
+	cap     int
+	build   func(engineKey) (*engine, error)
+	entries map[engineKey]*cacheSlot
+	lru     *list.List // of *cacheSlot; front = most recently used
+
+	hits, misses, evictions uint64
+}
+
+type cacheSlot struct {
+	key     engineKey
+	refs    int
+	elem    *list.Element // nil once detached
+	ready   chan struct{} // closed when eng/err are set
+	eng     *engine
+	err     error
+	evicted bool
+}
+
+func newEngineCache(capacity int, build func(engineKey) (*engine, error)) *engineCache {
+	return &engineCache{cap: capacity, build: build, entries: map[engineKey]*cacheSlot{}, lru: list.New()}
+}
+
+// acquire returns a referenced slot whose engine is ready. The caller must
+// pair it with release. Engine construction happens outside the cache lock;
+// concurrent acquirers of the same key share one build. Failed builds are not
+// cached, so the next acquire retries.
+func (c *engineCache) acquire(k engineKey) (*cacheSlot, error) {
+	c.mu.Lock()
+	if slot, ok := c.entries[k]; ok {
+		slot.refs++
+		if slot.elem != nil {
+			c.lru.MoveToFront(slot.elem)
+		}
+		c.hits++
+		c.mu.Unlock()
+		<-slot.ready
+		if slot.err != nil {
+			c.release(slot)
+			return nil, slot.err
+		}
+		return slot, nil
+	}
+	slot := &cacheSlot{key: k, refs: 1, ready: make(chan struct{})}
+	slot.elem = c.lru.PushFront(slot)
+	c.entries[k] = slot
+	c.misses++
+	var closing []*engine
+	for len(c.entries) > c.cap {
+		victim := c.coldestIdleLocked()
+		if victim == nil {
+			break // every resident engine is referenced; run over capacity
+		}
+		c.detachLocked(victim)
+		c.evictions++
+		if victim.eng != nil {
+			closing = append(closing, victim.eng)
+		}
+	}
+	c.mu.Unlock()
+	// Close evicted engines off the lock; refs==0 guarantees they are idle.
+	for _, e := range closing {
+		e.close()
+	}
+
+	eng, err := c.build(k)
+	c.mu.Lock()
+	slot.eng, slot.err = eng, err
+	if err != nil {
+		c.detachLocked(slot)
+	}
+	c.mu.Unlock()
+	close(slot.ready)
+	if err != nil {
+		c.release(slot)
+		return nil, err
+	}
+	return slot, nil
+}
+
+// coldestIdleLocked finds the least recently used slot with no references
+// and a finished build (an in-build slot always has refs >= 1).
+func (c *engineCache) coldestIdleLocked() *cacheSlot {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if slot := el.Value.(*cacheSlot); slot.refs == 0 {
+			return slot
+		}
+	}
+	return nil
+}
+
+// detachLocked removes a slot from the cache's index; idempotent.
+func (c *engineCache) detachLocked(slot *cacheSlot) {
+	if slot.evicted {
+		return
+	}
+	slot.evicted = true
+	delete(c.entries, slot.key)
+	if slot.elem != nil {
+		c.lru.Remove(slot.elem)
+		slot.elem = nil
+	}
+}
+
+// release drops one reference. The last release of a detached slot closes
+// its engine, and a cache that ran over capacity while every engine was
+// referenced shrinks back as references drain.
+func (c *engineCache) release(slot *cacheSlot) {
+	c.mu.Lock()
+	slot.refs--
+	var closing []*engine
+	if slot.evicted && slot.refs == 0 && slot.eng != nil {
+		closing = append(closing, slot.eng)
+	}
+	for len(c.entries) > c.cap {
+		victim := c.coldestIdleLocked()
+		if victim == nil {
+			break
+		}
+		c.detachLocked(victim)
+		c.evictions++
+		if victim.eng != nil {
+			closing = append(closing, victim.eng)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range closing {
+		e.close()
+	}
+}
+
+// closeAll detaches and closes every resident engine. Callers must have
+// stopped submissions first (the server closes its scheduler before this).
+func (c *engineCache) closeAll() {
+	c.mu.Lock()
+	slots := make([]*cacheSlot, 0, len(c.entries))
+	for _, slot := range c.entries {
+		slots = append(slots, slot)
+	}
+	for _, slot := range slots {
+		c.detachLocked(slot)
+	}
+	c.mu.Unlock()
+	for _, slot := range slots {
+		<-slot.ready
+		c.mu.Lock()
+		idle := slot.refs == 0 && slot.eng != nil
+		c.mu.Unlock()
+		if idle {
+			slot.eng.close()
+		}
+	}
+}
+
+// stats snapshots cache counters and the per-engine stats of resident
+// engines.
+func (c *engineCache) stats() (CacheStats, []EngineStats) {
+	c.mu.Lock()
+	cs := CacheStats{
+		Capacity:  c.cap,
+		Resident:  len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	engines := make([]*engine, 0, len(c.entries))
+	for _, slot := range c.entries {
+		select {
+		case <-slot.ready:
+			if slot.eng != nil {
+				engines = append(engines, slot.eng)
+			}
+		default: // still building; skip
+		}
+	}
+	c.mu.Unlock()
+	es := make([]EngineStats, 0, len(engines))
+	for _, e := range engines {
+		es = append(es, e.stats())
+	}
+	return cs, es
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/heffte"
+)
+
+// engineKey identifies one resident engine: the transform shape minus the
+// direction (one engine's plans execute both directions).
+type engineKey struct {
+	global [3]int
+	decomp heffte.Decomposition
+	prec   Precision
+	ranks  int
+}
+
+func (k engineKey) String() string {
+	return fmt.Sprintf("%dx%dx%d/%s/%s/r%d", k.global[0], k.global[1], k.global[2], k.decomp, k.prec, k.ranks)
+}
+
+// engineJob is one fused batch dispatched to every rank of an engine.
+type engineJob struct {
+	dir Direction
+	// fields[r][i] is rank r's share of batch entry i.
+	fields [][]*heffte.Field
+	wg     sync.WaitGroup
+	// Written by rank 0, read by the dispatching worker after wg.Wait.
+	err      error
+	clockEnd float64 // rank 0 virtual clock after the batch
+	virtual  float64 // virtual seconds this batch cost on rank 0
+}
+
+// engine is a resident execution backend for one shape: a long-lived
+// simulated world whose rank goroutines hold a collectively created plan and
+// loop over dispatched jobs. Keeping world and plans alive across batches is
+// what the plan cache exists for — plan construction (box analysis, reshape
+// schedules, kernel tables) happens once per shape, not once per request.
+type engine struct {
+	key     engineKey
+	size    int
+	inBoxes []heffte.Box3
+
+	// jobs fan one engineJob out to every rank. Dispatch is serialized by
+	// dispatchMu so concurrent workers enqueue jobs in the same order on every
+	// rank — a collective execution must stay collective.
+	jobs       []chan *engineJob
+	dispatchMu sync.Mutex
+
+	done      chan struct{} // closed when the world's Run returned
+	closeOnce sync.Once
+
+	// fieldSets recycles per-request distributed field sets (one field per
+	// rank, ~the global volume each) across batches. Without it every request
+	// allocates and zeroes its full data volume again; with it a steady-state
+	// hot shape reuses the same buffers (packBox overwrites every element, so
+	// stale contents cannot leak).
+	fieldSets sync.Pool
+
+	statsMu    sync.Mutex
+	batches    uint64
+	requests   uint64
+	virtualSec float64 // rank 0 virtual clock: total engine busy virtual time
+}
+
+// newEngine starts the world and creates the plan on every rank. It returns
+// after plan creation succeeded (or failed) everywhere.
+func newEngine(k engineKey, m *heffte.Machine, gpuAware bool) (*engine, error) {
+	e := &engine{
+		key:     k,
+		size:    k.ranks,
+		inBoxes: heffte.DefaultBricks(k.ranks, k.global),
+		jobs:    make([]chan *engineJob, k.ranks),
+		done:    make(chan struct{}),
+	}
+	for r := range e.jobs {
+		e.jobs[r] = make(chan *engineJob, 1)
+	}
+	e.fieldSets.New = func() any {
+		set := make([]*heffte.Field, e.size)
+		for r := range set {
+			set[r] = heffte.NewField(e.inBoxes[r])
+		}
+		return set
+	}
+	w := heffte.NewWorld(m, k.ranks, heffte.WorldOptions{GPUAware: gpuAware})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(e.done)
+		w.Run(func(c *heffte.Comm) {
+			plan, err := heffte.NewPlan(c, heffte.Config{
+				Global: k.global,
+				Opts:   heffte.Options{Decomp: k.decomp},
+			})
+			if c.Rank() == 0 {
+				errc <- err
+			}
+			if err != nil {
+				// Identical Config on every rank fails identically, so all
+				// ranks exit together and Run returns.
+				return
+			}
+			defer plan.Close()
+			for job := range e.jobs[c.Rank()] {
+				fs := job.fields[c.Rank()]
+				var jerr error
+				if job.dir == Inverse {
+					jerr = plan.InverseBatch(fs)
+				} else {
+					jerr = plan.ForwardBatch(fs)
+				}
+				if c.Rank() == 0 {
+					job.err = jerr
+					li := plan.LastExec()
+					job.clockEnd = li.End
+					job.virtual = li.End - li.Start
+				}
+				job.wg.Done()
+			}
+		})
+	}()
+	if err := <-errc; err != nil {
+		e.close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// execute scatters each request's global array over the engine's input
+// bricks, runs one fused batched transform, and gathers the (in-place)
+// results back. Results are bit-identical to executing the requests one by
+// one: batch entries touch disjoint data, and scatter/gather are exact
+// copies.
+func (e *engine) execute(dir Direction, reqs []*Request) error {
+	sets := make([][]*heffte.Field, len(reqs))
+	for i, req := range reqs {
+		sets[i] = e.fieldSets.Get().([]*heffte.Field)
+		for _, f := range sets[i] {
+			packBox(f.Data, f.Box, req.Data, e.key.global)
+		}
+	}
+	per := make([][]*heffte.Field, e.size)
+	for r := 0; r < e.size; r++ {
+		per[r] = make([]*heffte.Field, len(reqs))
+		for i := range reqs {
+			per[r][i] = sets[i][r]
+		}
+	}
+	job := &engineJob{dir: dir, fields: per}
+	job.wg.Add(e.size)
+	e.dispatchMu.Lock()
+	for r := range e.jobs {
+		e.jobs[r] <- job
+	}
+	e.dispatchMu.Unlock()
+	job.wg.Wait()
+	if job.err != nil {
+		return fmt.Errorf("serve: engine %s: %w", e.key, job.err)
+	}
+	for i, req := range reqs {
+		for _, f := range sets[i] {
+			unpackBox(req.Data, e.key.global, f.Data, f.Box)
+		}
+		e.fieldSets.Put(sets[i])
+	}
+	e.statsMu.Lock()
+	e.batches++
+	e.requests += uint64(len(reqs))
+	e.virtualSec = job.clockEnd
+	e.statsMu.Unlock()
+	return nil
+}
+
+func (e *engine) stats() EngineStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return EngineStats{
+		Shape:          e.key.String(),
+		Batches:        e.batches,
+		Requests:       e.requests,
+		VirtualSeconds: e.virtualSec,
+	}
+}
+
+// close stops the rank loops and waits for the world to wind down. Callers
+// must guarantee no job is in flight (the cache's refcount does).
+func (e *engine) close() {
+	e.closeOnce.Do(func() {
+		for _, ch := range e.jobs {
+			close(ch)
+		}
+	})
+	<-e.done
+}
+
+// Scatter splits a global row-major N0×N1×N2 array across boxes, returning
+// one field per box holding an exact copy of its sub-array. It is the
+// distribution step a caller performs before driving a heffte.Plan directly,
+// exported so baselines (cmd/fftserve -mode perplan) and examples distribute
+// data exactly as the server does internally.
+func Scatter(global [3]int, data []complex128, boxes []heffte.Box3) []*heffte.Field {
+	fields := make([]*heffte.Field, len(boxes))
+	for r, b := range boxes {
+		f := heffte.NewField(b)
+		packBox(f.Data, f.Box, data, global)
+		fields[r] = f
+	}
+	return fields
+}
+
+// Gather is the inverse of Scatter: it copies each field's (in-place
+// transformed) local array back into the global one.
+func Gather(global [3]int, data []complex128, fields []*heffte.Field) {
+	for _, f := range fields {
+		unpackBox(data, global, f.Data, f.Box)
+	}
+}
+
+// packBox copies the box-shaped sub-array of a row-major global array into a
+// field-local row-major array (axis 2 contiguous, as everywhere in the repo).
+func packBox(dst []complex128, box heffte.Box3, global []complex128, n [3]int) {
+	if box.Empty() {
+		return
+	}
+	row := box.Hi[2] - box.Lo[2]
+	di := 0
+	for i0 := box.Lo[0]; i0 < box.Hi[0]; i0++ {
+		for i1 := box.Lo[1]; i1 < box.Hi[1]; i1++ {
+			base := (i0*n[1]+i1)*n[2] + box.Lo[2]
+			copy(dst[di:di+row], global[base:base+row])
+			di += row
+		}
+	}
+}
+
+// unpackBox is the inverse of packBox: local array back into the global one.
+func unpackBox(global []complex128, n [3]int, src []complex128, box heffte.Box3) {
+	if box.Empty() {
+		return
+	}
+	row := box.Hi[2] - box.Lo[2]
+	si := 0
+	for i0 := box.Lo[0]; i0 < box.Hi[0]; i0++ {
+		for i1 := box.Lo[1]; i1 < box.Hi[1]; i1++ {
+			base := (i0*n[1]+i1)*n[2] + box.Lo[2]
+			copy(global[base:base+row], src[si:si+row])
+			si += row
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/heffte"
+	"repro/internal/sched"
+)
+
+// Direction selects the transform applied to a request.
+type Direction int
+
+const (
+	// Forward applies the forward transform (Plan.ForwardBatch).
+	Forward Direction = iota
+	// Inverse applies the inverse transform, scaled by 1/N.
+	Inverse
+)
+
+func (d Direction) String() string {
+	if d == Inverse {
+		return "inverse"
+	}
+	return "forward"
+}
+
+// Precision selects the element type of a request. The engine currently
+// computes in double-complex only — the paper's datatype — but precision is
+// part of the shape key so single-precision engines slot in without an API
+// change.
+type Precision int
+
+const (
+	// Complex128 is double-complex (16 bytes/element).
+	Complex128 Precision = iota
+)
+
+func (p Precision) String() string {
+	return "c128"
+}
+
+// Request is one transform submitted to a Server. Data is the full global
+// row-major N0×N1×N2 array (axis 2 contiguous) and is transformed in place.
+//
+// Ownership: the server owns Data from Submit until Submit returns — with
+// one exception. If the request's context ends while its batch is already
+// executing, Submit returns early and the batch keeps writing Data until it
+// completes; such callers must drop the buffer rather than reuse it
+// immediately (Server.Stats' InFlight reaching zero guarantees quiescence).
+type Request struct {
+	// Global is the transform extents (N0, N1, N2); all must be positive.
+	Global [3]int
+	// Decomp selects the decomposition; DecompAuto resolves via the paper's
+	// bandwidth model, and is itself part of the shape key.
+	Decomp heffte.Decomposition
+	// Precision of the payload (Complex128 only, for now).
+	Precision Precision
+	// Direction of the transform.
+	Direction Direction
+	// Data is the global array, len == N0·N1·N2, transformed in place.
+	Data []complex128
+}
+
+// Config tunes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Machine is the simulated system executing transforms (default
+	// heffte.Summit()).
+	Machine *heffte.Machine
+	// Ranks is the world size of each resident engine (default 8).
+	Ranks int
+	// NoGPUAware disables GPU-aware MPI in the engines (mirrors heFFTe's
+	// -no-gpu-aware flag; the default is GPU-aware on).
+	NoGPUAware bool
+
+	// Window is how long the first request of a batch waits for same-shape
+	// company (default 200µs; negative = no waiting). Batches are cut when a
+	// worker frees up, so under load coalescing continues past the window up
+	// to MaxBatch.
+	Window time.Duration
+	// MaxBatch caps requests fused into one engine execution (default 16).
+	MaxBatch int
+	// Workers bounds concurrently executing batches (default 2).
+	Workers int
+	// MaxQueue bounds admitted-but-unstarted requests; beyond it Submit
+	// fast-fails with heffte.ErrOverloaded (default 256).
+	MaxQueue int
+	// CacheShapes bounds resident engines (worlds + plans) in the LRU plan
+	// cache (default 4).
+	CacheShapes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == nil {
+		c.Machine = heffte.Summit()
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.Window == 0 {
+		c.Window = 200 * time.Microsecond
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.CacheShapes <= 0 {
+		c.CacheShapes = 4
+	}
+	return c
+}
+
+// Server is a long-lived, concurrent FFT service: many goroutines Submit
+// independent requests; the server coalesces same-shape requests into fused
+// batched executions on resident engines. Create with New, stop with Close.
+type Server struct {
+	cfg   Config
+	sched *sched.Scheduler[*Request]
+	cache *engineCache
+}
+
+// New starts a server (its worker pool runs until Close).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.cache = newEngineCache(cfg.CacheShapes, func(k engineKey) (*engine, error) {
+		return newEngine(k, cfg.Machine, !cfg.NoGPUAware)
+	})
+	s.sched = sched.New[*Request](sched.Config{
+		Workers:  cfg.Workers,
+		MaxQueue: cfg.MaxQueue,
+		Window:   cfg.Window,
+		MaxBatch: cfg.MaxBatch,
+	}, s.runBatch)
+	return s
+}
+
+// Submit executes one transform, blocking until it completed, was rejected
+// (heffte.ErrOverloaded), or ctx ended (heffte.ErrDeadlineExceeded when the
+// deadline passed before the batch started). Safe for concurrent use from
+// any number of goroutines; same-shape concurrent requests coalesce into
+// fused batches with results bit-identical to sequential execution.
+func (s *Server) Submit(ctx context.Context, req *Request) error {
+	if err := validateRequest(req); err != nil {
+		return err
+	}
+	return s.sched.Submit(ctx, shapeKey(req, s.cfg.Ranks), req)
+}
+
+func validateRequest(req *Request) error {
+	if req == nil {
+		return fmt.Errorf("serve: %w: nil request", heffte.ErrBadConfig)
+	}
+	vol := 1
+	for d := 0; d < 3; d++ {
+		if req.Global[d] < 1 {
+			return fmt.Errorf("serve: %w: invalid global grid %v", heffte.ErrBadConfig, req.Global)
+		}
+		vol *= req.Global[d]
+	}
+	if len(req.Data) != vol {
+		return fmt.Errorf("serve: %w: data length %d != global volume %d", heffte.ErrBadConfig, len(req.Data), vol)
+	}
+	if req.Direction != Forward && req.Direction != Inverse {
+		return fmt.Errorf("serve: %w: invalid direction %d", heffte.ErrBadConfig, int(req.Direction))
+	}
+	if req.Precision != Complex128 {
+		return fmt.Errorf("serve: %w: unsupported precision %d", heffte.ErrBadConfig, int(req.Precision))
+	}
+	switch req.Decomp {
+	case heffte.DecompAuto, heffte.DecompSlabs, heffte.DecompPencils, heffte.DecompBricks:
+	default:
+		return fmt.Errorf("serve: %w: invalid decomposition %d", heffte.ErrBadConfig, int(req.Decomp))
+	}
+	return nil
+}
+
+// shapeKey is the coalescing key: requests fuse only when every part of it
+// matches (batched execution requires one plan and one direction).
+func shapeKey(req *Request, ranks int) string {
+	return fmt.Sprintf("%dx%dx%d/%s/%s/r%d/%s",
+		req.Global[0], req.Global[1], req.Global[2], req.Decomp, req.Precision, ranks, req.Direction)
+}
+
+func engineKeyFor(req *Request, ranks int) engineKey {
+	return engineKey{global: req.Global, decomp: req.Decomp, prec: req.Precision, ranks: ranks}
+}
+
+// runBatch is the scheduler's Runner: resolve the engine (cache hit or
+// build), execute the fused batch, release the reference.
+func (s *Server) runBatch(key string, reqs []*Request) error {
+	slot, err := s.cache.acquire(engineKeyFor(reqs[0], s.cfg.Ranks))
+	if err != nil {
+		return fmt.Errorf("serve: engine for %s: %w", key, err)
+	}
+	defer s.cache.release(slot)
+	return slot.eng.execute(reqs[0].Direction, reqs)
+}
+
+// CacheStats describes the engine/plan LRU cache.
+type CacheStats struct {
+	Capacity  int
+	Resident  int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// EngineStats describes one resident engine.
+type EngineStats struct {
+	Shape    string
+	Batches  uint64
+	Requests uint64
+	// VirtualSeconds is the engine's rank-0 virtual clock: the simulated
+	// busy time it spent executing batches.
+	VirtualSeconds float64
+}
+
+// Stats is a point-in-time snapshot of the server: per-shape scheduler
+// counters (submitted/coalesced/rejected/deadline-exceeded, batch-size and
+// latency histograms) plus plan-cache and engine state.
+type Stats struct {
+	Scheduler sched.Stats
+	Cache     CacheStats
+	Engines   []EngineStats
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	cs, es := s.cache.stats()
+	sort.Slice(es, func(i, j int) bool { return es[i].Shape < es[j].Shape })
+	return Stats{Scheduler: s.sched.Stats(), Cache: cs, Engines: es}
+}
+
+// WriteText renders the snapshot as a human-readable report.
+func (st Stats) WriteText(w io.Writer) {
+	st.Scheduler.WriteText(w)
+	fmt.Fprintf(w, "plan cache: %d/%d resident  hits %d  misses %d  evictions %d\n",
+		st.Cache.Resident, st.Cache.Capacity, st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions)
+	for _, e := range st.Engines {
+		fmt.Fprintf(w, "  engine %s: %d batches, %d requests, %.3fs virtual busy\n",
+			e.Shape, e.Batches, e.Requests, e.VirtualSeconds)
+	}
+}
+
+// WriteStats writes the current snapshot as text.
+func (s *Server) WriteStats(w io.Writer) { s.Stats().WriteText(w) }
+
+// Close drains queued requests, stops the workers, and shuts down every
+// resident engine. Submits after Close fail with heffte.ErrServerClosed.
+func (s *Server) Close() {
+	s.sched.Close()
+	s.cache.closeAll()
+}

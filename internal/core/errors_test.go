@@ -81,3 +81,39 @@ func TestPlanClose(t *testing.T) {
 		}
 	})
 }
+
+// TestPlanRetain checks the refcount-friendly Close: each Retain pairs with
+// one Close, and only the final Close shuts the plan down — the contract the
+// serving layer's plan cache relies on when cache eviction races logical
+// ownership by in-flight batches.
+func TestPlanRetain(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 2, mpisim.Options{GPUAware: true})
+	w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: [3]int{8, 8, 8}})
+		if err != nil {
+			t.Errorf("NewPlan: %v", err)
+			return
+		}
+		p.Retain() // second owner
+		if err := p.Close(); err != nil {
+			t.Errorf("first Close: %v", err)
+		}
+		f := NewField(p.InBox())
+		f.FillRandom(int64(c.Rank() + 1))
+		if err := p.Forward(f); err != nil {
+			t.Errorf("Forward with one reference left: %v", err)
+		}
+		if li := p.LastExec(); li.Batch != 1 || li.End <= li.Start {
+			t.Errorf("LastExec = %+v, want batch 1 with End > Start", li)
+		}
+		if err := p.Close(); err != nil {
+			t.Errorf("final Close: %v", err)
+		}
+		if err := p.Forward(f); !errors.Is(err, ErrPlanClosed) {
+			t.Errorf("Forward after final Close: got %v, want ErrPlanClosed", err)
+		}
+		if p.Retain(); p.Forward(f) == nil {
+			t.Error("Retain after Close must not revive the plan")
+		}
+	})
+}

@@ -32,6 +32,22 @@ func (p *Plan) ForwardBatch(fs []*Field) error { return p.execute(fs, fft.Forwar
 // InverseBatch is the batched inverse transform.
 func (p *Plan) InverseBatch(fs []*Field) error { return p.execute(fs, fft.Inverse) }
 
+// ExecInfo describes one execution on this rank: how many fields the batch
+// fused and the virtual-time interval it spanned. The serving layer uses it
+// to attribute per-batch virtual cost without instrumenting the pipeline.
+type ExecInfo struct {
+	// Batch is the number of fields the execution carried.
+	Batch int
+	// Start and End are the rank's virtual clock (seconds) around the
+	// execution; End-Start is the batch's virtual cost on this rank.
+	Start, End float64
+}
+
+// LastExec returns information about the most recent (possibly failed)
+// execution on this rank. Like execution itself, it is rank-local: call it
+// from the goroutine that ran the plan.
+func (p *Plan) LastExec() ExecInfo { return p.lastExec }
+
 func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
 	if p.closed {
 		return fmt.Errorf("core: %w", ErrPlanClosed)
@@ -39,6 +55,9 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
 	if len(fields) == 0 {
 		return fmt.Errorf("core: empty batch")
 	}
+	// Validation failures leave End == Start: nothing executed, no cost.
+	p.lastExec = ExecInfo{Batch: len(fields), Start: p.comm.Clock()}
+	p.lastExec.End = p.lastExec.Start
 	phantom := fields[0].Phantom()
 	for _, f := range fields {
 		if err := f.validate(p.inBox); err != nil {
@@ -77,6 +96,7 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
 	if pending > 0 {
 		p.chargeOverlap(pending)
 	}
+	p.lastExec.End = p.comm.Clock()
 	for _, f := range fields {
 		if err := f.validate(p.outBox); err != nil {
 			return fmt.Errorf("core: after execution: %w", err)

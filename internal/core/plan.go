@@ -45,6 +45,11 @@ type Plan struct {
 	// steady-state execution path performs no allocations.
 	one    [1]*Field
 	closed bool
+	// refs counts logical owners (Retain/Close). Rank-local, like every other
+	// Plan field: a plan is confined to its rank goroutine by contract.
+	refs int
+	// lastExec describes the most recent execution on this rank (LastExec).
+	lastExec ExecInfo
 }
 
 type stageKind int
@@ -113,6 +118,7 @@ func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
 		inBox:  inBoxes[c.Rank()],
 		outBox: outBoxes[c.Rank()],
 		lp:     size,
+		refs:   1,
 	}
 
 	// FFT grid shrinking: if the per-rank volume would be below the
@@ -228,11 +234,32 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 	return nil
 }
 
-// Close marks the plan unusable and drops its execution scratch; subsequent
-// executions return ErrPlanClosed. Close is idempotent and local to this
-// rank. Staging buffers are pooled process-wide, so closing one plan never
-// disturbs others.
+// Retain adds one logical owner to the plan and returns it, so independent
+// holders (a plan cache and the batches in flight through it, say) can each
+// pair their reference with a Close without coordinating shutdown order. A
+// plan starts with one reference; Retain on a closed plan is a no-op.
+func (p *Plan) Retain() *Plan {
+	if !p.closed {
+		p.refs++
+	}
+	return p
+}
+
+// Close releases one reference (see Retain). When the last reference is
+// released the plan becomes unusable and drops its execution scratch;
+// subsequent executions return ErrPlanClosed. Closing an already-closed plan
+// is a no-op, preserving idempotence for single-owner callers. Close is local
+// to this rank; staging buffers are pooled process-wide, so closing one plan
+// never disturbs others.
 func (p *Plan) Close() error {
+	if p.closed {
+		return nil
+	}
+	if p.refs > 1 {
+		p.refs--
+		return nil
+	}
+	p.refs = 0
 	p.closed = true
 	p.one[0] = nil
 	return nil

@@ -13,6 +13,7 @@
 package fft
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"math/bits"
@@ -78,39 +79,97 @@ type bluesteinPlan struct {
 	bq [2][]complex128
 }
 
+// The process-wide plan cache is a bounded LRU: distributed plans resolve
+// their kernel plans once at build time, so the cache exists to make repeated
+// plan construction cheap, not to hold every length ever seen. Bounding it
+// matters once arbitrary shapes arrive from outside (the heffte/serve layer
+// accepts client-chosen extents): an adversarial shape mix must not grow a
+// package-global map without limit. Evicted plans stay fully usable by
+// whoever holds them — eviction only drops the cache's reference.
 var (
-	planCacheMu sync.RWMutex
-	planCache   = map[int]*Plan{}
+	planCacheMu    sync.Mutex
+	planCache      = map[int]*list.Element{} // value: *cacheEntry
+	planCacheList  = list.New()              // front = most recently used
+	planCacheLimit = DefaultPlanCacheLimit
 )
 
-// NewPlan returns a plan for transforms of length n, caching plans so that
-// repeated requests for the same length are cheap. n must be >= 1.
+// DefaultPlanCacheLimit is the default bound on distinct cached lengths. A
+// production shape mix touches a handful of lengths (paper grids use a dozen);
+// 64 leaves ample headroom while capping worst-case retention (a plan of
+// length n holds O(n) table memory, plus pooled scratch).
+const DefaultPlanCacheLimit = 64
+
+type cacheEntry struct {
+	n int
+	p *Plan
+}
+
+// SetPlanCacheLimit bounds the plan cache to at most limit distinct lengths
+// (minimum 1), evicting least-recently-used plans if it currently holds more,
+// and returns the previous limit. Intended for tests and for services tuning
+// memory against a hostile shape mix.
+func SetPlanCacheLimit(limit int) int {
+	if limit < 1 {
+		limit = 1
+	}
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	old := planCacheLimit
+	planCacheLimit = limit
+	evictLockedLRU()
+	return old
+}
+
+// PlanCacheLen reports how many plans the cache currently holds.
+func PlanCacheLen() int {
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	return planCacheList.Len()
+}
+
+// evictLockedLRU drops least-recently-used entries beyond the limit.
+func evictLockedLRU() {
+	for planCacheList.Len() > planCacheLimit {
+		back := planCacheList.Back()
+		delete(planCache, back.Value.(*cacheEntry).n)
+		planCacheList.Remove(back)
+	}
+}
+
+// NewPlan returns a plan for transforms of length n, caching plans in a
+// bounded LRU so that repeated requests for hot lengths are cheap. n must be
+// >= 1.
 //
-// The cache is safe under concurrent rank goroutines: lookups take only a
-// read lock (the steady-state path allocates nothing), and plan construction
+// The cache is safe under concurrent rank goroutines; plan construction
 // happens outside the lock, with the first finished builder winning so every
 // caller observes one canonical plan per length. Bluestein plans obtain their
 // power-of-two sub-plan through the same cache, so twiddle and bit-reversal
-// tables are shared across plan lookups instead of being recomputed.
+// tables are shared across plan lookups instead of being recomputed. A plan
+// evicted while still referenced (by a distributed plan's stages or a
+// Bluestein parent) remains valid; only the cache forgets it.
 func NewPlan(n int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid transform length %d", n))
 	}
-	planCacheMu.RLock()
-	p := planCache[n]
-	planCacheMu.RUnlock()
-	if p != nil {
+	planCacheMu.Lock()
+	if el, ok := planCache[n]; ok {
+		planCacheList.MoveToFront(el)
+		p := el.Value.(*cacheEntry).p
+		planCacheMu.Unlock()
 		return p
 	}
+	planCacheMu.Unlock()
 	// Build outside the lock: initBluestein recursively calls NewPlan for its
 	// power-of-two sub-plan. Concurrent builders of the same length are
 	// deduplicated below (construction is a pure function of n).
-	p = newPlanUncached(n)
+	p := newPlanUncached(n)
 	planCacheMu.Lock()
-	if q := planCache[n]; q != nil {
-		p = q
+	if el, ok := planCache[n]; ok {
+		planCacheList.MoveToFront(el)
+		p = el.Value.(*cacheEntry).p
 	} else {
-		planCache[n] = p
+		planCache[n] = planCacheList.PushFront(&cacheEntry{n: n, p: p})
+		evictLockedLRU()
 	}
 	planCacheMu.Unlock()
 	return p

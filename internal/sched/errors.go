@@ -1,0 +1,24 @@
+package sched
+
+import "errors"
+
+// Typed sentinel errors returned (wrapped with %w, so errors.Is works) by
+// Scheduler.Submit. The heffte facade re-exports them so service callers can
+// classify failures without string matching, exactly as with the plan-layer
+// sentinels of internal/core.
+var (
+	// ErrOverloaded is the admission-control fast-fail: the scheduler's
+	// bounded queue is full (or the scheduler is shutting down) and the
+	// request was rejected without waiting. Callers are expected to shed or
+	// retry with backoff.
+	ErrOverloaded = errors.New("scheduler overloaded")
+
+	// ErrDeadlineExceeded marks a request whose context deadline expired
+	// before its batch started executing (or that was submitted with an
+	// already-expired deadline). It wraps context.DeadlineExceeded where one
+	// was observed, so errors.Is matches either sentinel.
+	ErrDeadlineExceeded = errors.New("request deadline exceeded")
+
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("scheduler closed")
+)

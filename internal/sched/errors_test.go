@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSentinelErrors mirrors internal/core's sentinel convention: every
+// failure class returned by Submit wraps its typed sentinel with %w, so
+// errors.Is classifies without string matching.
+func TestSentinelErrors(t *testing.T) {
+	check := func(label string, err, want error) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s: expected an error", label)
+			return
+		}
+		if !errors.Is(err, want) {
+			t.Errorf("%s: error %q does not wrap %q", label, err, want)
+		}
+	}
+
+	run := func(string, []int) error { return nil }
+
+	// Overload: zero-capacity queue is simulated with MaxQueue=1 and a
+	// blocked worker holding one admitted request.
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s := New(Config{Workers: 1, MaxQueue: 1, Window: 0, MaxBatch: 1}, func(string, []int) error {
+		started <- struct{}{}
+		<-block
+		return nil
+	})
+	first := make(chan error, 1)
+	go func() { first <- s.Submit(context.Background(), "k", 0) }()
+	<-started
+	// The worker owns request 0; fill the single queue slot, then overflow.
+	second := make(chan error, 1)
+	go func() { second <- s.Submit(context.Background(), "k", 1) }()
+	for i := 0; s.Stats().Total.Submitted < 2; i++ {
+		if i > 5000 {
+			t.Fatal("second submit never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	overloaded := s.Submit(context.Background(), "k", 2)
+	check("overload", overloaded, ErrOverloaded)
+	close(block)
+	check("overload is not a deadline", fmt.Errorf("probe: %w", ErrOverloaded), ErrOverloaded)
+	if errors.Is(overloaded, ErrDeadlineExceeded) {
+		t.Error("ErrOverloaded must not match ErrDeadlineExceeded")
+	}
+	if err := <-first; err != nil {
+		t.Errorf("first submit: %v", err)
+	}
+	<-second
+	s.Close()
+
+	// Deadline: an already-expired context fails fast.
+	s2 := New(Config{Workers: 1}, run)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := s2.Submit(ctx, "k", 0)
+	check("expired deadline", err, ErrDeadlineExceeded)
+	check("expired deadline (context)", err, context.DeadlineExceeded)
+
+	// Closed.
+	s2.Close()
+	check("closed", s2.Submit(context.Background(), "k", 0), ErrClosed)
+}
