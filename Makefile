@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-serve smoke-serve examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-serve smoke-serve chaos examples experiments quick-experiments
 
 all: build vet test
 
@@ -43,6 +43,14 @@ bench-serve:
 # Fast self-checking pass over the serving layer (used by CI).
 smoke-serve:
 	go run ./cmd/fftserve -smoke
+
+# Seeded fault-injection run: verified load against engines with injected
+# rank kills, drops, corruptions and stalls. Asserts zero lost/corrupted
+# responses and that every recovery mechanism (retry, batch split, engine
+# eviction, breaker trip, degraded path) actually fired. Same seed, same
+# fault schedule — failures replay.
+chaos:
+	go run ./cmd/fftserve -chaos -smoke -seed 7
 
 examples:
 	go run ./examples/quickstart

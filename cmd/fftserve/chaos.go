@@ -1,0 +1,282 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/heffte"
+	"repro/heffte/serve"
+)
+
+// Chaos mode: a seeded fault schedule injected into the server's engines
+// while verified load runs against it. The run proves the recovery pipeline
+// end to end — batches fail on killed/stalled/corrupted engines, get split
+// and retried on rebuilt worlds, a shape that keeps failing trips its breaker
+// into the degraded path — and asserts that despite all of it no response is
+// lost (every request eventually completes, with bounded client retries) and
+// none is corrupted (every payload matches a clean-run reference spectrum).
+//
+// Determinism: fault schedules are pure functions of (-seed, shape, build
+// counter), so identical seeds replay identical fault sequences; every plan's
+// fingerprint is printed for comparison across runs.
+
+// chaosShapes: the primary shape recovers (its first two engine builds are
+// faulty, later ones clean); the doomed shape never gets a healthy engine and
+// must be carried by the circuit breaker's degraded path.
+var (
+	chaosPrimary = [3]int{16, 16, 16}
+	chaosDoomed  = [3]int{24, 24, 24}
+)
+
+// chaosPlan is the fault schedule of the build'th engine for the primary
+// shape: a seeded mix of stalls, drops, corruptions and degraded links, plus
+// one guaranteed kill at some rank's first exchange so the build's first
+// batch fails regardless of where the sampled events land.
+func chaosPlan(seed int64, ranks, build int) *heffte.FaultPlan {
+	p := heffte.GenerateFaults(seed+int64(build)*7919, ranks, heffte.FaultConfig{
+		Stalls: 1, Drops: 1, Corrupts: 1, Degrades: 1, OpHorizon: 8, Timeout: 0.25,
+	})
+	p.Events = append(p.Events, heffte.FaultEvent{Kind: heffte.FaultKill, Rank: build % ranks, Op: 0})
+	return p
+}
+
+// doomPlan kills a rank at its first exchange on every build: engines for the
+// doomed shape never survive one batch.
+func doomPlan(ranks, build int) *heffte.FaultPlan {
+	return &heffte.FaultPlan{Timeout: 0.25, Events: []heffte.FaultEvent{
+		{Kind: heffte.FaultKill, Rank: build % ranks, Op: 0},
+	}}
+}
+
+func runChaos(seed int64, smoke bool) error {
+	const ranks = 4
+	mainLoad := 128
+	if smoke {
+		mainLoad = 32
+	}
+	doomedPrefix := fmt.Sprintf("%dx%dx%d/", chaosDoomed[0], chaosDoomed[1], chaosDoomed[2])
+
+	var planMu sync.Mutex
+	srv := serve.New(serve.Config{
+		Ranks:            ranks,
+		Window:           3 * time.Millisecond,
+		MaxBatch:         8,
+		Workers:          2,
+		MaxRetries:       2,
+		RetryBackoff:     100 * time.Microsecond,
+		RetryBackoffCap:  time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+		EngineFaults: func(shape string, build int) *heffte.FaultPlan {
+			var plan *heffte.FaultPlan
+			switch {
+			case strings.HasPrefix(shape, doomedPrefix):
+				plan = doomPlan(ranks, build)
+			case build < 2:
+				plan = chaosPlan(seed, ranks, build)
+			default:
+				return nil // healthy engine
+			}
+			planMu.Lock()
+			fmt.Printf("chaos: engine build %d for %s: %s [fingerprint %s]\n",
+				build, shape, plan, plan.Fingerprint())
+			planMu.Unlock()
+			return plan
+		},
+	})
+	defer srv.Close()
+
+	// Inputs and clean-run reference spectra, per shape.
+	rng := rand.New(rand.NewSource(seed))
+	inputs := map[[3]int][]complex128{}
+	expected := map[[3]int][]complex128{}
+	for _, g := range [][3]int{chaosPrimary, chaosDoomed} {
+		in := make([]complex128, g[0]*g[1]*g[2])
+		for i := range in {
+			in[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		inputs[g] = in
+		ref, err := chaosReference(g, ranks, in)
+		if err != nil {
+			return fmt.Errorf("reference transform for %v: %w", g, err)
+		}
+		expected[g] = ref
+	}
+
+	var lost, mismatched, clientRetries int64
+	var mu sync.Mutex
+	// submitVerified drives one request to completion: fault-class failures
+	// are retried client-side from pristine input (the server never writes
+	// Data on failure), and every success is checked against the reference.
+	submitVerified := func(g [3]int, buf []complex128) error {
+		var lastErr error
+		for attempt := 0; attempt < 20; attempt++ {
+			copy(buf, inputs[g])
+			err := srv.Submit(context.Background(), &serve.Request{Global: g, Data: buf})
+			if err == nil {
+				if !equalComplex(buf, expected[g]) {
+					mu.Lock()
+					mismatched++
+					mu.Unlock()
+					return fmt.Errorf("corrupted response for %v", g)
+				}
+				return nil
+			}
+			if !heffte.IsFault(err) {
+				return fmt.Errorf("non-fault failure for %v: %w", g, err)
+			}
+			lastErr = err
+			mu.Lock()
+			clientRetries++
+			mu.Unlock()
+		}
+		mu.Lock()
+		lost++
+		mu.Unlock()
+		return fmt.Errorf("request for %v lost after 20 attempts: %w", g, lastErr)
+	}
+
+	// Phase 1 — burst: six concurrent primary-shape requests coalesce into
+	// one batch that lands on the faulty build-0 engine, forcing the
+	// split-and-retry path (evict build 0, split, evict build 1, recover on
+	// the first healthy build).
+	fmt.Println("chaos: phase 1 — coalesced burst on faulty engines")
+	var wg sync.WaitGroup
+	errs := make([]error, 6)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]complex128, len(inputs[chaosPrimary]))
+			errs[i] = submitVerified(chaosPrimary, buf)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2 — doomed shape: every engine build dies, so consecutive batch
+	// failures trip the breaker and the degraded fresh-plan path takes over.
+	fmt.Println("chaos: phase 2 — doomed shape trips the breaker")
+	dbuf := make([]complex128, len(inputs[chaosDoomed]))
+	for i := 0; i < 4; i++ {
+		if err := submitVerified(chaosDoomed, dbuf); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3 — steady load on the now-healthy primary shape.
+	fmt.Println("chaos: phase 3 — steady verified load")
+	var issued int64
+	var loadErr error
+	clients := 6
+	wg = sync.WaitGroup{}
+	var issuedMu sync.Mutex
+	next := func() bool {
+		issuedMu.Lock()
+		defer issuedMu.Unlock()
+		if issued >= int64(mainLoad) {
+			return false
+		}
+		issued++
+		return true
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]complex128, len(inputs[chaosPrimary]))
+			for next() {
+				if err := submitVerified(chaosPrimary, buf); err != nil {
+					mu.Lock()
+					if loadErr == nil {
+						loadErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if loadErr != nil {
+		return loadErr
+	}
+
+	st := srv.Stats()
+	rec := st.Recovery
+	fmt.Printf("chaos: %d client retries, %d lost, %d corrupted\n", clientRetries, lost, mismatched)
+	st.WriteText(os.Stdout)
+	check := func(name string, got uint64) error {
+		if got == 0 {
+			return fmt.Errorf("chaos: expected at least one %s, got none", name)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		got  uint64
+	}{
+		{"server-side retry", rec.Retries},
+		{"batch split", rec.BatchSplits},
+		{"fault eviction", rec.FaultEvictions},
+		{"breaker trip", rec.BreakerTrips},
+		{"degraded execution", rec.DegradedRequests},
+	} {
+		if err := check(c.name, c.got); err != nil {
+			return err
+		}
+	}
+	if lost != 0 || mismatched != 0 {
+		return fmt.Errorf("chaos: %d lost, %d corrupted responses", lost, mismatched)
+	}
+	fmt.Printf("CHAOS OK seed=%d (0 lost, 0 corrupted; retries=%d splits=%d evictions=%d trips=%d degraded=%d)\n",
+		seed, rec.Retries, rec.BatchSplits, rec.FaultEvictions, rec.BreakerTrips, rec.DegradedRequests)
+	return nil
+}
+
+// chaosReference computes the expected spectrum of one input on a clean
+// world — the ground truth chaos responses are compared against.
+func chaosReference(global [3]int, ranks int, input []complex128) ([]complex128, error) {
+	out := make([]complex128, len(input))
+	copy(out, input)
+	fields := serve.Scatter(global, out, heffte.DefaultBricks(ranks, global))
+	errs := make([]error, ranks)
+	w := heffte.NewWorld(heffte.Summit(), ranks, heffte.WorldOptions{GPUAware: true})
+	w.Run(func(c *heffte.Comm) {
+		plan, err := heffte.NewPlan(c, heffte.Config{Global: global})
+		if err != nil {
+			errs[c.Rank()] = err
+			return
+		}
+		defer plan.Close()
+		errs[c.Rank()] = plan.Forward(fields[c.Rank()])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	serve.Gather(global, out, fields)
+	return out, nil
+}
+
+func equalComplex(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -17,6 +17,8 @@
 //	fftserve -mode perplan -rate 100          # same load against the baseline
 //	fftserve -bench -json BENCH_PR2.json      # serve vs perplan comparison
 //	fftserve -smoke                           # small CI run (exit 1 on failure)
+//	fftserve -chaos -seed 7                   # seeded fault-injection run
+//	fftserve -chaos -smoke                    # small chaos run for CI
 package main
 
 import (
@@ -57,8 +59,17 @@ func main() {
 		bench    = flag.Bool("bench", false, "run serve AND perplan under identical load, report speedup")
 		jsonOut  = flag.String("json", "", "with -bench: write the comparison as JSON to this file")
 		smoke    = flag.Bool("smoke", false, "small self-checking run for CI")
+		chaos    = flag.Bool("chaos", false, "seeded fault-injection run: verified load against faulty engines (exit 1 on any lost/corrupted response); -smoke shrinks it for CI")
 	)
 	flag.Parse()
+
+	if *chaos {
+		if err := runChaos(*seed, *smoke); err != nil {
+			fmt.Fprintln(os.Stderr, "fftserve: chaos FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *smoke {
 		if err := runSmoke(); err != nil {

@@ -35,5 +35,18 @@
 // cmd/fftserve drives synthetic open-loop load against it (BENCH_PR2.json
 // records the coalescing-vs-one-plan-per-request comparison).
 //
+// The simulator also injects the failure modes of large systems: a seeded,
+// reproducible fault plan (GenerateFaults, internal/faults) schedules link
+// degradation, stalls, dropped/corrupted messages and rank kills, surfaced
+// as typed errors (ErrRankFailed, ErrMessageCorrupt, ErrExchangeTimeout)
+// with rank and pipeline-phase context instead of silent hangs — a
+// per-exchange virtual-time bound guarantees a stalled or dead peer becomes
+// a bounded error under every exchange strategy. The serving layer recovers:
+// fault-failed batches retry on rebuilt engines with backoff and batch
+// splitting, persistent failures trip a per-shape circuit breaker into a
+// degraded fresh-plan-per-request mode, and all of it is visible in
+// Server.Stats. `fftserve -chaos` replays a seeded fault schedule under
+// verified load and asserts zero lost or corrupted responses.
+//
 // See README.md for a tour and DESIGN.md for the system inventory.
 package repro

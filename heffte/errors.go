@@ -2,6 +2,7 @@ package heffte
 
 import (
 	"repro/internal/core"
+	"repro/internal/mpisim"
 	"repro/internal/sched"
 )
 
@@ -38,4 +39,23 @@ var (
 	// ErrServerClosed is returned by Submit on a server that has been shut
 	// down.
 	ErrServerClosed = sched.ErrClosed
+
+	// ErrRankFailed marks a transform aborted because a rank of its world was
+	// killed mid-exchange (fault injection, or a rank function panicking into
+	// the abort path). Every survivor observes it; the world is unusable
+	// afterwards and the serving layer evicts engines built on it.
+	ErrRankFailed = mpisim.ErrRankFailed
+	// ErrMessageCorrupt marks a payload corrupted in transit, detected on
+	// receipt.
+	ErrMessageCorrupt = mpisim.ErrMessageCorrupt
+	// ErrExchangeTimeout marks an exchange whose wait exceeded the configured
+	// per-exchange virtual-time bound: a dropped message or a straggler
+	// stalled past the timeout surfaces as a bounded error, never a hang.
+	ErrExchangeTimeout = mpisim.ErrExchangeTimeout
 )
+
+// IsFault reports whether err wraps one of the injected-fault sentinels
+// (ErrRankFailed, ErrMessageCorrupt, ErrExchangeTimeout) — the transient,
+// infrastructure-class failures the serving layer retries, as opposed to
+// configuration errors it fails immediately.
+func IsFault(err error) bool { return mpisim.IsFault(err) }

@@ -23,6 +23,7 @@ package heffte
 
 import (
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mpisim"
 	"repro/internal/tensor"
@@ -134,6 +135,39 @@ const (
 	OpMax = mpisim.OpMax
 	OpMin = mpisim.OpMin
 )
+
+// Fault injection (chaos testing). A FaultPlan set in WorldOptions.Faults
+// perturbs the simulated job deterministically — stalls, degraded links,
+// dropped or corrupted messages, killed ranks — and the affected transforms
+// fail with the typed sentinels above instead of hanging. See internal/faults
+// for the schedule semantics.
+type (
+	// FaultPlan is a reproducible fault schedule plus the per-exchange
+	// timeout bound enforced while it is active.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault at a (rank, op) coordinate.
+	FaultEvent = faults.Event
+	// FaultConfig parameterizes GenerateFaults.
+	FaultConfig = faults.Config
+	// FaultKind enumerates the injectable fault kinds.
+	FaultKind = faults.Kind
+)
+
+// Fault kinds.
+const (
+	FaultStall   = faults.Stall
+	FaultJitter  = faults.Jitter
+	FaultDegrade = faults.Degrade
+	FaultDrop    = faults.Drop
+	FaultCorrupt = faults.Corrupt
+	FaultKill    = faults.Kill
+)
+
+// GenerateFaults derives a reproducible FaultPlan from a seed: identical
+// (seed, size, cfg) yields the identical schedule on every machine.
+func GenerateFaults(seed int64, size int, cfg FaultConfig) *FaultPlan {
+	return faults.Generate(seed, size, cfg)
+}
 
 // Summit returns the paper's 6×V100-per-node machine; Spock the 4×MI100 one;
 // Frontier a projection of the exascale system the conclusions anticipate.

@@ -115,6 +115,21 @@ func (c *engineCache) detachLocked(slot *cacheSlot) {
 	}
 }
 
+// invalidate detaches a slot from the cache so no future acquire returns it
+// (the next acquire of its key builds a fresh engine); the detached engine
+// closes when the last reference drains through release. Used when a batch
+// observed the engine's world in a failed state. Idempotent under concurrent
+// callers; reports whether this call did the detaching.
+func (c *engineCache) invalidate(slot *cacheSlot) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if slot.evicted {
+		return false
+	}
+	c.detachLocked(slot)
+	return true
+}
+
 // release drops one reference. The last release of a detached slot closes
 // its engine, and a cache that ran over capacity while every engine was
 // referenced shrinks back as references drain.

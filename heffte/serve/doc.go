@@ -44,6 +44,32 @@
 //     running the same requests sequentially — batch entries are
 //     independent fields through one fused pipeline execution.
 //
+// # Fault recovery
+//
+// Engines run on simulated worlds that can fail (injected faults — see
+// heffte.GenerateFaults — model the rank kills, dropped/corrupted messages
+// and stragglers of real large systems). The server recovers instead of
+// propagating every fault to submitters:
+//
+//   - A batch failing with a fault-class error (heffte.IsFault) evicts its
+//     engine — the world is permanently failed — and retries on a freshly
+//     built one, with capped exponential backoff plus jitter (MaxRetries,
+//     RetryBackoff, RetryBackoffCap).
+//   - Multi-request batches split in half on retry, isolating a poison
+//     request from its batch-mates; per-item outcomes are delivered
+//     individually (sched.BatchErrors).
+//   - BreakerThreshold consecutive fault-failed batches of one shape trip a
+//     per-shape circuit breaker: while open, the shape's requests execute
+//     degraded — one fresh clean world and plan per request — until the
+//     cooldown expires and a probe batch closes the breaker.
+//   - Request payloads are written only on success, so a failed request's
+//     Data is intact for the automatic retries and for client resubmission.
+//
+// Retries, batch splits, fault evictions, breaker trips and degraded
+// executions are all counted in Stats().Recovery; `fftserve -chaos` drives
+// a seeded fault schedule under verified load and asserts zero lost or
+// corrupted responses.
+//
 // # Minimal use
 //
 //	srv := serve.New(serve.Config{Ranks: 8})

@@ -40,6 +40,7 @@ type engineJob struct {
 type engine struct {
 	key     engineKey
 	size    int
+	world   *heffte.World
 	inBoxes []heffte.Box3
 
 	// jobs fan one engineJob out to every rank. Dispatch is serialized by
@@ -65,8 +66,9 @@ type engine struct {
 }
 
 // newEngine starts the world and creates the plan on every rank. It returns
-// after plan creation succeeded (or failed) everywhere.
-func newEngine(k engineKey, m *heffte.Machine, gpuAware bool) (*engine, error) {
+// after plan creation succeeded (or failed) everywhere. A non-nil fault plan
+// arms the world with a deterministic fault schedule (chaos testing).
+func newEngine(k engineKey, m *heffte.Machine, gpuAware bool, fp *heffte.FaultPlan) (*engine, error) {
 	e := &engine{
 		key:     k,
 		size:    k.ranks,
@@ -84,21 +86,31 @@ func newEngine(k engineKey, m *heffte.Machine, gpuAware bool) (*engine, error) {
 		}
 		return set
 	}
-	w := heffte.NewWorld(m, k.ranks, heffte.WorldOptions{GPUAware: gpuAware})
+	w := heffte.NewWorld(m, k.ranks, heffte.WorldOptions{GPUAware: gpuAware, Faults: fp})
+	e.world = w
 	errc := make(chan error, 1)
 	go func() {
 		defer close(e.done)
 		w.Run(func(c *heffte.Comm) {
-			plan, err := heffte.NewPlan(c, heffte.Config{
-				Global: k.global,
-				Opts:   heffte.Options{Decomp: k.decomp},
-			})
+			// Plan construction is collective; Protect keeps a fault unwinding
+			// it from escaping the rank function (errc must always receive).
+			var plan *heffte.Plan
+			var err error
+			if ferr := c.Protect(func() {
+				plan, err = heffte.NewPlan(c, heffte.Config{
+					Global: k.global,
+					Opts:   heffte.Options{Decomp: k.decomp},
+				})
+			}); ferr != nil {
+				err = ferr
+			}
 			if c.Rank() == 0 {
 				errc <- err
 			}
 			if err != nil {
-				// Identical Config on every rank fails identically, so all
-				// ranks exit together and Run returns.
+				// Identical Config on every rank fails identically (and faults
+				// abort the whole world), so all ranks exit together and Run
+				// returns.
 				return
 			}
 			defer plan.Close()
@@ -155,6 +167,12 @@ func (e *engine) execute(dir Direction, reqs []*Request) error {
 	}
 	e.dispatchMu.Unlock()
 	job.wg.Wait()
+	if job.err == nil {
+		// A fault on a rank other than 0 can leave rank 0's own execution
+		// clean; the world's sticky fault error still fails the batch (its
+		// outputs may be incomplete) and gets the engine evicted.
+		job.err = e.world.FaultError()
+	}
 	if job.err != nil {
 		return fmt.Errorf("serve: engine %s: %w", e.key, job.err)
 	}

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/heffte"
+	"repro/internal/sched"
+)
+
+// Fault recovery. A batch that fails with a fault-class error (rank killed,
+// message corrupt, exchange timeout — heffte.IsFault) is retried: the dead
+// engine is evicted so the retry rebuilds a fresh world, a capped exponential
+// backoff with jitter spaces the attempts, and batches of more than one
+// request split in half first, so a poison request fails alone while its
+// batch-mates recover. Shapes whose batches keep failing trip a per-shape
+// circuit breaker: while it is open, requests bypass the cached-engine path
+// entirely and execute degraded — one fresh clean world per request — until
+// the cooldown expires and a probe batch closes the breaker again.
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	state       int
+	consecutive int       // consecutive fault-failed batches while closed
+	openUntil   time.Time // open state expires into half-open
+}
+
+func (b *breaker) name() string {
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// recovery is the server's fault-recovery state: per-shape breakers, the
+// per-shape engine build counter (feeding Config.EngineFaults), and the
+// counters surfaced in Stats.
+type recovery struct {
+	mu       sync.Mutex
+	breakers map[string]*breaker
+	builds   map[string]int
+
+	retries        uint64
+	splits         uint64
+	faultEvictions uint64
+	degraded       uint64
+	trips          uint64
+}
+
+// nextBuild returns (and advances) the build counter for a shape: how many
+// engines have been constructed for it, counting this one.
+func (s *Server) nextBuild(shape string) int {
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	n := s.rec.builds[shape]
+	s.rec.builds[shape] = n + 1
+	return n
+}
+
+// breakerOpen reports whether the shape's breaker currently routes batches to
+// the degraded path, transitioning open → half-open once the cooldown expired
+// (the caller's batch becomes the probe).
+func (s *Server) breakerOpen(key string) bool {
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	b := s.rec.breakers[key]
+	if b == nil || b.state != breakerOpen {
+		return false
+	}
+	if time.Now().Before(b.openUntil) {
+		return true
+	}
+	b.state = breakerHalfOpen
+	return false
+}
+
+// recordOutcome feeds one normal-path batch result into the shape's breaker.
+func (s *Server) recordOutcome(key string, err error) {
+	faulty := isFaultOutcome(err)
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	b := s.rec.breakers[key]
+	if b == nil {
+		b = &breaker{}
+		s.rec.breakers[key] = b
+	}
+	if !faulty {
+		b.consecutive = 0
+		b.state = breakerClosed
+		return
+	}
+	b.consecutive++
+	if b.state == breakerHalfOpen || b.consecutive >= s.cfg.BreakerThreshold {
+		s.rec.trips++
+		b.state = breakerOpen
+		b.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
+		b.consecutive = 0
+	}
+}
+
+// isFaultOutcome reports whether a batch outcome involves a fault-class
+// failure (directly, or in any item of a per-item BatchErrors result).
+func isFaultOutcome(err error) bool {
+	if err == nil {
+		return false
+	}
+	var be *sched.BatchErrors
+	if errors.As(err, &be) {
+		for _, e := range be.Errs {
+			if e != nil && heffte.IsFault(e) {
+				return true
+			}
+		}
+		return false
+	}
+	return heffte.IsFault(err)
+}
+
+// runBatch is the scheduler's Runner: breaker check, then the recovering
+// cached-engine path.
+func (s *Server) runBatch(key string, reqs []*Request) error {
+	if s.breakerOpen(key) {
+		return s.runDegraded(reqs)
+	}
+	err := s.attempt(key, reqs, 0)
+	s.recordOutcome(key, err)
+	return err
+}
+
+// attempt executes the batch on the shape's cached engine, retrying
+// fault-class failures up to Config.MaxRetries levels deep. Request payloads
+// are only written on success (scatter copies out of them, gather back in),
+// so retries always start from pristine data.
+func (s *Server) attempt(key string, reqs []*Request, depth int) error {
+	slot, err := s.cache.acquire(engineKeyFor(reqs[0], s.cfg.Ranks))
+	if err != nil {
+		err = fmt.Errorf("serve: engine for %s: %w", key, err)
+		if !heffte.IsFault(err) || depth >= s.cfg.MaxRetries {
+			return err
+		}
+		return s.retry(key, reqs, depth)
+	}
+	execErr := slot.eng.execute(reqs[0].Direction, reqs)
+	if execErr != nil && heffte.IsFault(execErr) {
+		// The engine's world is permanently failed: evict it so this retry —
+		// and every other in-flight batch on it — rebuilds on a fresh world.
+		if s.cache.invalidate(slot) {
+			s.rec.mu.Lock()
+			s.rec.faultEvictions++
+			s.rec.mu.Unlock()
+		}
+	}
+	s.cache.release(slot)
+	if execErr == nil || !heffte.IsFault(execErr) || depth >= s.cfg.MaxRetries {
+		return execErr
+	}
+	return s.retry(key, reqs, depth)
+}
+
+// retry backs off and re-attempts, splitting multi-request batches in half so
+// failures isolate to the smallest possible request set.
+func (s *Server) retry(key string, reqs []*Request, depth int) error {
+	s.rec.mu.Lock()
+	s.rec.retries++
+	if len(reqs) > 1 {
+		s.rec.splits++
+	}
+	s.rec.mu.Unlock()
+	s.backoff(depth)
+	if len(reqs) > 1 {
+		mid := len(reqs) / 2
+		left := s.attempt(key, reqs[:mid], depth+1)
+		right := s.attempt(key, reqs[mid:], depth+1)
+		return combine(len(reqs), mid, left, right)
+	}
+	return s.attempt(key, reqs, depth+1)
+}
+
+// backoff sleeps the capped exponential delay for this retry depth, with
+// ±25% jitter so synchronized failures do not retry in lockstep.
+func (s *Server) backoff(depth int) {
+	d := s.cfg.RetryBackoff << depth
+	if d > s.cfg.RetryBackoffCap {
+		d = s.cfg.RetryBackoffCap
+	}
+	if d <= 0 {
+		return
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	time.Sleep(d + jitter)
+}
+
+// combine flattens the results of a split retry into one per-item error
+// value aligned with the original batch (nil when both halves succeeded).
+func combine(n, mid int, left, right error) error {
+	if left == nil && right == nil {
+		return nil
+	}
+	be := &sched.BatchErrors{Errs: make([]error, n)}
+	fill := func(errs []error, err error) {
+		var sub *sched.BatchErrors
+		if errors.As(err, &sub) && len(sub.Errs) == len(errs) {
+			copy(errs, sub.Errs)
+			return
+		}
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	fill(be.Errs[:mid], left)
+	fill(be.Errs[mid:], right)
+	return be
+}
+
+// runDegraded is the graceful-degradation path behind an open breaker: each
+// request executes alone on a throwaway clean world with a plan built just
+// for it — no shared engine, no injected faults, a higher per-request cost,
+// but isolated from whatever kept killing the cached engines.
+func (s *Server) runDegraded(reqs []*Request) error {
+	s.rec.mu.Lock()
+	s.rec.degraded += uint64(len(reqs))
+	s.rec.mu.Unlock()
+	errs := make([]error, len(reqs))
+	failed := false
+	for i, req := range reqs {
+		errs[i] = s.runFresh(req)
+		if errs[i] != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		return nil
+	}
+	return &sched.BatchErrors{Errs: errs}
+}
+
+// runFresh executes one request on a fresh clean world, fresh plan, no cache.
+func (s *Server) runFresh(req *Request) error {
+	k := engineKeyFor(req, s.cfg.Ranks)
+	boxes := heffte.DefaultBricks(k.ranks, k.global)
+	fields := Scatter(k.global, req.Data, boxes)
+	errs := make([]error, k.ranks)
+	w := heffte.NewWorld(s.cfg.Machine, k.ranks, heffte.WorldOptions{GPUAware: !s.cfg.NoGPUAware})
+	w.Run(func(c *heffte.Comm) {
+		r := c.Rank()
+		var perr error
+		ferr := c.Protect(func() {
+			var plan *heffte.Plan
+			plan, perr = heffte.NewPlan(c, heffte.Config{Global: k.global, Opts: heffte.Options{Decomp: k.decomp}})
+			if perr != nil {
+				return
+			}
+			defer plan.Close()
+			if req.Direction == Inverse {
+				perr = plan.Inverse(fields[r])
+			} else {
+				perr = plan.Forward(fields[r])
+			}
+		})
+		if perr == nil {
+			perr = ferr
+		}
+		errs[r] = perr
+	})
+	for _, e := range errs {
+		if e != nil {
+			return fmt.Errorf("serve: degraded execution: %w", e)
+		}
+	}
+	Gather(k.global, req.Data, fields)
+	return nil
+}
+
+// RecoveryStats is the fault-recovery section of Stats.
+type RecoveryStats struct {
+	// Retries counts batch re-attempts after fault-class failures.
+	Retries uint64
+	// BatchSplits counts retries that split a multi-request batch in half.
+	BatchSplits uint64
+	// FaultEvictions counts engines evicted because their world failed.
+	FaultEvictions uint64
+	// DegradedRequests counts requests executed on the fresh-plan degraded
+	// path behind an open breaker.
+	DegradedRequests uint64
+	// BreakerTrips counts closed/half-open → open transitions.
+	BreakerTrips uint64
+	// Breakers maps shape keys to breaker state ("closed", "open",
+	// "half-open"); shapes that never failed are absent.
+	Breakers map[string]string
+}
+
+func (s *Server) recoveryStats() RecoveryStats {
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	rs := RecoveryStats{
+		Retries:          s.rec.retries,
+		BatchSplits:      s.rec.splits,
+		FaultEvictions:   s.rec.faultEvictions,
+		DegradedRequests: s.rec.degraded,
+		BreakerTrips:     s.rec.trips,
+		Breakers:         make(map[string]string, len(s.rec.breakers)),
+	}
+	for k, b := range s.rec.breakers {
+		rs.Breakers[k] = b.name()
+	}
+	return rs
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/heffte"
@@ -91,6 +92,29 @@ type Config struct {
 	// CacheShapes bounds resident engines (worlds + plans) in the LRU plan
 	// cache (default 4).
 	CacheShapes int
+
+	// MaxRetries bounds how many times a fault-failed batch is re-attempted
+	// (with engine rebuild, backoff, and batch splitting) before the failure
+	// is returned to submitters (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry; each level
+	// doubles it up to RetryBackoffCap, with ±25% jitter (defaults 200µs and
+	// 5ms).
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// BreakerThreshold consecutive fault-failed batches of one shape trip its
+	// circuit breaker (default 3); while open, the shape's requests execute
+	// degraded — a fresh clean world and plan per request — instead of on
+	// cached engines. After BreakerCooldown (default 25ms) the next batch
+	// probes the normal path and closes the breaker on success.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// EngineFaults, if set, supplies the fault plan injected into the n'th
+	// engine built for a shape (nil = clean engine). It is the chaos-testing
+	// hook: deterministic schedules (heffte.GenerateFaults) keyed on the
+	// build counter exercise the whole recovery path reproducibly.
+	EngineFaults func(shape string, build int) *heffte.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +133,24 @@ func (c Config) withDefaults() Config {
 	if c.CacheShapes <= 0 {
 		c.CacheShapes = 4
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 200 * time.Microsecond
+	}
+	if c.RetryBackoffCap <= 0 {
+		c.RetryBackoffCap = 5 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 25 * time.Millisecond
+	}
 	return c
 }
 
@@ -116,17 +158,25 @@ func (c Config) withDefaults() Config {
 // independent requests; the server coalesces same-shape requests into fused
 // batched executions on resident engines. Create with New, stop with Close.
 type Server struct {
-	cfg   Config
-	sched *sched.Scheduler[*Request]
-	cache *engineCache
+	cfg    Config
+	sched  *sched.Scheduler[*Request]
+	cache  *engineCache
+	closed atomic.Bool
+	rec    recovery
 }
 
 // New starts a server (its worker pool runs until Close).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
+	s.rec.breakers = map[string]*breaker{}
+	s.rec.builds = map[string]int{}
 	s.cache = newEngineCache(cfg.CacheShapes, func(k engineKey) (*engine, error) {
-		return newEngine(k, cfg.Machine, !cfg.NoGPUAware)
+		var fp *heffte.FaultPlan
+		if cfg.EngineFaults != nil {
+			fp = cfg.EngineFaults(k.String(), s.nextBuild(k.String()))
+		}
+		return newEngine(k, cfg.Machine, !cfg.NoGPUAware, fp)
 	})
 	s.sched = sched.New[*Request](sched.Config{
 		Workers:  cfg.Workers,
@@ -143,6 +193,9 @@ func New(cfg Config) *Server {
 // any number of goroutines; same-shape concurrent requests coalesce into
 // fused batches with results bit-identical to sequential execution.
 func (s *Server) Submit(ctx context.Context, req *Request) error {
+	if s.closed.Load() {
+		return fmt.Errorf("serve: %w", heffte.ErrServerClosed)
+	}
 	if err := validateRequest(req); err != nil {
 		return err
 	}
@@ -188,17 +241,6 @@ func engineKeyFor(req *Request, ranks int) engineKey {
 	return engineKey{global: req.Global, decomp: req.Decomp, prec: req.Precision, ranks: ranks}
 }
 
-// runBatch is the scheduler's Runner: resolve the engine (cache hit or
-// build), execute the fused batch, release the reference.
-func (s *Server) runBatch(key string, reqs []*Request) error {
-	slot, err := s.cache.acquire(engineKeyFor(reqs[0], s.cfg.Ranks))
-	if err != nil {
-		return fmt.Errorf("serve: engine for %s: %w", key, err)
-	}
-	defer s.cache.release(slot)
-	return slot.eng.execute(reqs[0].Direction, reqs)
-}
-
 // CacheStats describes the engine/plan LRU cache.
 type CacheStats struct {
 	Capacity  int
@@ -225,13 +267,14 @@ type Stats struct {
 	Scheduler sched.Stats
 	Cache     CacheStats
 	Engines   []EngineStats
+	Recovery  RecoveryStats
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	cs, es := s.cache.stats()
 	sort.Slice(es, func(i, j int) bool { return es[i].Shape < es[j].Shape })
-	return Stats{Scheduler: s.sched.Stats(), Cache: cs, Engines: es}
+	return Stats{Scheduler: s.sched.Stats(), Cache: cs, Engines: es, Recovery: s.recoveryStats()}
 }
 
 // WriteText renders the snapshot as a human-readable report.
@@ -243,6 +286,19 @@ func (st Stats) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "  engine %s: %d batches, %d requests, %.3fs virtual busy\n",
 			e.Shape, e.Batches, e.Requests, e.VirtualSeconds)
 	}
+	r := st.Recovery
+	if r.Retries > 0 || r.FaultEvictions > 0 || r.BreakerTrips > 0 || r.DegradedRequests > 0 {
+		fmt.Fprintf(w, "recovery: %d retries (%d batch splits), %d fault evictions, %d breaker trips, %d degraded requests\n",
+			r.Retries, r.BatchSplits, r.FaultEvictions, r.BreakerTrips, r.DegradedRequests)
+		keys := make([]string, 0, len(r.Breakers))
+		for k := range r.Breakers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  breaker %s: %s\n", k, r.Breakers[k])
+		}
+	}
 }
 
 // WriteStats writes the current snapshot as text.
@@ -251,6 +307,7 @@ func (s *Server) WriteStats(w io.Writer) { s.Stats().WriteText(w) }
 // Close drains queued requests, stops the workers, and shuts down every
 // resident engine. Submits after Close fail with heffte.ErrServerClosed.
 func (s *Server) Close() {
+	s.closed.Store(true)
 	s.sched.Close()
 	s.cache.closeAll()
 }

@@ -48,13 +48,18 @@ type ExecInfo struct {
 // from the goroutine that ran the plan.
 func (p *Plan) LastExec() ExecInfo { return p.lastExec }
 
-func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
+func (p *Plan) execute(fields []*Field, dir fft.Direction) (err error) {
 	if p.closed {
 		return fmt.Errorf("core: %w", ErrPlanClosed)
 	}
 	if len(fields) == 0 {
 		return fmt.Errorf("core: empty batch")
 	}
+	// Injected faults and exchange timeouts unwind as panics from deep inside
+	// the reshape machinery; surface them as errors with (rank, phase) context
+	// instead of crashing the rank goroutine.
+	p.curPhase = ""
+	defer p.recoverFault(&err)
 	// Validation failures leave End == Start: nothing executed, no cost.
 	p.lastExec = ExecInfo{Batch: len(fields), Start: p.comm.Clock()}
 	p.lastExec.End = p.lastExec.Start
@@ -78,6 +83,7 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
 	// recycled once packed.
 	recycle := false
 	for _, st := range p.stages {
+		p.curPhase = st.label
 		switch st.kind {
 		case stageReshape:
 			t0 := p.comm.Clock()

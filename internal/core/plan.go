@@ -50,6 +50,9 @@ type Plan struct {
 	refs int
 	// lastExec describes the most recent execution on this rank (LastExec).
 	lastExec ExecInfo
+	// curPhase is the stage label currently executing, read by recoverFault to
+	// attach phase context to fault errors. Rank-local, like the plan itself.
+	curPhase string
 }
 
 type stageKind int
@@ -62,6 +65,7 @@ const (
 
 type stage struct {
 	kind  stageKind
+	label string       // phase name reported in fault errors
 	rs    *reshapePlan // stageReshape
 	axis  int          // stageFFT1D: transform axis
 	myBox tensor.Box3  // local box during a compute stage
@@ -183,12 +187,13 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 			return
 		}
 		rs := buildReshape(p.comm, cur, target, label, tagSeq)
-		p.stages = append(p.stages, stage{kind: stageReshape, rs: rs})
+		p.stages = append(p.stages, stage{kind: stageReshape, label: "reshape " + label, rs: rs})
 		cur = target
 	}
 	addFFT1D := func(axis int) {
 		p.stages = append(p.stages, stage{
-			kind: stageFFT1D, axis: axis, myBox: cur[p.comm.Rank()],
+			kind: stageFFT1D, label: fmt.Sprintf("fft axis %d", axis),
+			axis: axis, myBox: cur[p.comm.Rank()],
 			// Resolve the 1-D kernel plan now so execution never takes the
 			// plan-cache lock; twiddle tables are shared across all lookups.
 			fplan: fft.NewPlan(p.global[axis]),
@@ -223,7 +228,7 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		// Slabs along axis 0: local 2-D FFTs over axes (1,2), one exchange
 		// to slabs along axis 1, then 1-D FFTs along axis 0.
 		addReshape(pad(slabBoxes(p.global, 0, p.lp)), "slab-0")
-		p.stages = append(p.stages, stage{kind: stageFFT2D, myBox: cur[p.comm.Rank()]})
+		p.stages = append(p.stages, stage{kind: stageFFT2D, label: "fft planes", myBox: cur[p.comm.Rank()]})
 		addReshape(pad(slabBoxes(p.global, 1, p.lp)), "slab-1")
 		addFFT1D(0)
 		addReshape(outBoxes, "output")

@@ -76,6 +76,8 @@ type RealPlan struct {
 
 	p, q   int
 	closed bool
+	// curPhase is the stage label currently executing (fault-error context).
+	curPhase string
 }
 
 // NewRealPlan collectively creates an R2C plan; all ranks pass identical
@@ -150,12 +152,13 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 		if boxesEqual(cur, target) {
 			return
 		}
-		p.stages = append(p.stages, stage{kind: stageReshape, rs: buildReshape(c, cur, target, label, tag)})
+		p.stages = append(p.stages, stage{kind: stageReshape, label: "reshape " + label, rs: buildReshape(c, cur, target, label, tag)})
 		cur = target
 	}
 	addFFT := func(axis int) {
 		p.stages = append(p.stages, stage{
-			kind: stageFFT1D, axis: axis, myBox: cur[c.Rank()],
+			kind: stageFFT1D, label: fmt.Sprintf("fft axis %d", axis),
+			axis: axis, myBox: cur[c.Rank()],
 			fplan: fft.NewPlan(half[axis]),
 		})
 	}
@@ -170,7 +173,7 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 	for i := len(p.stages) - 1; i >= 0; i-- {
 		st := p.stages[i]
 		if st.kind == stageReshape {
-			st = stage{kind: stageReshape, rs: reverseReshape(st.rs)}
+			st = stage{kind: stageReshape, label: st.label + "-rev", rs: reverseReshape(st.rs)}
 		}
 		p.revStages = append(p.revStages, st)
 	}
@@ -208,7 +211,9 @@ func (p *RealPlan) Forward(rf *RealField) (*Field, error) {
 
 // ForwardBatch transforms a batch of real fields through fused exchanges,
 // like Plan.ForwardBatch (the Fig. 13 batching feature, here for R2C).
-func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
+func (p *RealPlan) ForwardBatch(rfs []*RealField) (_ []*Field, err error) {
+	p.curPhase = ""
+	defer p.recoverFault(&err)
 	if p.closed {
 		return nil, fmt.Errorf("core: %w", ErrPlanClosed)
 	}
@@ -230,6 +235,7 @@ func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
 
 	// Move the real data to z-pencils (half the bytes of a complex reshape).
 	// The caller still owns the brick arrays, so they are not recycled.
+	p.curPhase = "reshape r2c-input"
 	p.inReshape.runReal(p.ctx(), rfs, false)
 
 	// Local r2c along axis 2, then the complex pipeline with fused
@@ -241,6 +247,7 @@ func (p *RealPlan) ForwardBatch(rfs []*RealField) ([]*Field, error) {
 	}
 	dir := fft.Forward
 	for _, st := range p.stages {
+		p.curPhase = st.label
 		switch st.kind {
 		case stageReshape:
 			st.rs.run(p.ctx(), fields, true)
@@ -269,7 +276,9 @@ func (p *RealPlan) Inverse(f *Field) (*RealField, error) {
 }
 
 // InverseBatch is the batched complex-to-real transform.
-func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
+func (p *RealPlan) InverseBatch(fields []*Field) (_ []*RealField, err error) {
+	p.curPhase = ""
+	defer p.recoverFault(&err)
 	if p.closed {
 		return nil, fmt.Errorf("core: %w", ErrPlanClosed)
 	}
@@ -287,6 +296,7 @@ func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
 	// recycled when the next reshape replaces it.
 	recycle := false
 	for _, st := range p.revStages {
+		p.curPhase = st.label
 		switch st.kind {
 		case stageReshape:
 			st.rs.run(p.ctx(), fields, recycle)
@@ -304,6 +314,7 @@ func (p *RealPlan) InverseBatch(fields []*Field) ([]*RealField, error) {
 		}
 		rfs[i] = p.c2rLocal(f)
 	}
+	p.curPhase = "reshape r2c-input-rev"
 	p.outReshape.runReal(p.ctx(), rfs, true)
 	return rfs, nil
 }

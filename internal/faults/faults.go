@@ -1,0 +1,249 @@
+// Package faults is a deterministic fault-injection plan for the simulated
+// MPI runtime (internal/mpisim). The paper's experiments ran on Summit and
+// Spock, where slow links, stragglers and node failures are routine at
+// 3072-GPU scale; this package lets the simulator reproduce those conditions
+// on demand, with a schedule that is a pure function of a seed.
+//
+// A Plan is a list of Events, each targeting one (rank, op) coordinate:
+// `op` is the victim rank's own count of fault-visible exchange operations
+// (P2P sends and collective calls), which the simulator tracks per rank.
+// Because virtual time in mpisim depends only on per-rank operation order,
+// the same Plan applied to the same program produces the same fault at the
+// same point in every run, regardless of Go scheduling — chaos runs replay.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// Stall adds Delay virtual seconds to each of Count consecutive ops,
+	// turning the rank into a straggler. With an exchange timeout configured
+	// a stall longer than the bound surfaces as ErrExchangeTimeout on the
+	// peers stuck waiting for it.
+	Stall Kind = iota
+	// Jitter is a small Stall: latency noise, not an error source.
+	Jitter
+	// Degrade multiplies the communication cost of Count consecutive ops by
+	// Factor, modeling a congested or degraded link.
+	Degrade
+	// Drop loses the next message the rank sends (P2P) or its blocks of the
+	// next collective. Receivers observe ErrExchangeTimeout.
+	Drop
+	// Corrupt flips the next message the rank sends (detected on receipt,
+	// modeling checksum verification): receivers observe ErrMessageCorrupt.
+	Corrupt
+	// Kill fails the rank at the op: it raises ErrRankFailed and the whole
+	// world aborts with that error, unblocking every survivor.
+	Kill
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Stall:
+		return "stall"
+	case Jitter:
+		return "jitter"
+	case Degrade:
+		return "degrade"
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	case Kill:
+		return "kill"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault: at the victim rank's Op'th fault-visible
+// operation, the effect fires (and, for Stall/Jitter/Degrade, persists for
+// Count ops).
+type Event struct {
+	Kind Kind
+	Rank int // victim world rank
+	Op   int // victim's operation index (0-based)
+
+	Delay  float64 // Stall/Jitter: virtual seconds added per op
+	Factor float64 // Degrade: cost multiplier (> 1)
+	Count  int     // Stall/Jitter/Degrade: ops affected (min 1)
+}
+
+func (e Event) span() int {
+	if e.Count > 1 {
+		return e.Count
+	}
+	return 1
+}
+
+// Plan is a reproducible fault schedule plus the per-exchange timeout bound
+// the simulator enforces while the plan is active. The zero value injects
+// nothing. Plans are immutable once handed to a world and safe for
+// concurrent readers.
+type Plan struct {
+	// Timeout is the per-exchange virtual-time bound (seconds): a rank whose
+	// wait inside one exchange exceeds it fails with ErrExchangeTimeout
+	// instead of waiting forever. Zero leaves only dropped messages
+	// timing out (immediately).
+	Timeout float64
+	Events  []Event
+}
+
+// Effect is the aggregate perturbation of one operation, precomputed from
+// every event covering it.
+type Effect struct {
+	Kill    bool
+	Drop    bool
+	Corrupt bool
+	Stall   float64 // extra virtual seconds before the op
+	Factor  float64 // communication cost multiplier (0 or 1 = unchanged)
+}
+
+// Zero reports whether the effect perturbs nothing.
+func (e Effect) Zero() bool {
+	return !e.Kill && !e.Drop && !e.Corrupt && e.Stall == 0 && (e.Factor == 0 || e.Factor == 1)
+}
+
+// Active reports whether the plan has any events at all (worlds skip the
+// per-op lookup entirely for empty plans).
+func (p *Plan) Active() bool { return p != nil && len(p.Events) > 0 }
+
+// Effect returns the combined effect of every event covering the rank's
+// op'th operation.
+func (p *Plan) Effect(rank, op int) Effect {
+	var eff Effect
+	if p == nil {
+		return eff
+	}
+	for _, e := range p.Events {
+		if e.Rank != rank || op < e.Op {
+			continue
+		}
+		switch e.Kind {
+		case Kill:
+			if op == e.Op {
+				eff.Kill = true
+			}
+		case Drop:
+			if op == e.Op {
+				eff.Drop = true
+			}
+		case Corrupt:
+			if op == e.Op {
+				eff.Corrupt = true
+			}
+		case Stall, Jitter:
+			if op < e.Op+e.span() {
+				eff.Stall += e.Delay
+			}
+		case Degrade:
+			if op < e.Op+e.span() {
+				if eff.Factor == 0 {
+					eff.Factor = 1
+				}
+				eff.Factor *= e.Factor
+			}
+		}
+	}
+	return eff
+}
+
+// Fingerprint returns a short content hash of the schedule, printed by chaos
+// runs so "identical seed ⇒ identical fault schedule" is checkable from logs.
+func (p *Plan) Fingerprint() string {
+	if p == nil {
+		return "clean"
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "t=%g;", p.Timeout)
+	for _, e := range p.Events {
+		fmt.Fprintf(h, "%d/%d/%d/%g/%g/%d;", e.Kind, e.Rank, e.Op, e.Delay, e.Factor, e.Count)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String renders the schedule compactly, for logs and debugging.
+func (p *Plan) String() string {
+	if p == nil || len(p.Events) == 0 {
+		return "faults: none"
+	}
+	parts := make([]string, 0, len(p.Events))
+	for _, e := range p.Events {
+		parts = append(parts, fmt.Sprintf("%s@r%d.op%d", e.Kind, e.Rank, e.Op))
+	}
+	return fmt.Sprintf("faults(timeout %gs): %s", p.Timeout, strings.Join(parts, " "))
+}
+
+// Config parameterizes Generate. Counts are event counts over the horizon;
+// the zero value generates an empty plan.
+type Config struct {
+	// OpHorizon is the op-index range [0, OpHorizon) events are drawn from
+	// (default 64). Set it to roughly the number of exchanges the victim
+	// program performs so events actually land.
+	OpHorizon int
+
+	Kills    int // ranks killed mid-exchange
+	Stalls   int // straggler episodes
+	Drops    int // lost messages
+	Corrupts int // corrupted messages
+	Degrades int // degraded-link episodes
+	Jitters  int // latency noise episodes
+
+	// Timeout overrides the default per-exchange bound (1.0 virtual second).
+	Timeout float64
+	// StallDelay overrides the straggler delay (default 3× the timeout, so a
+	// stalled rank always trips the bound).
+	StallDelay float64
+}
+
+// Generate derives a reproducible Plan from a seed: the same (seed, size,
+// cfg) triple yields the identical schedule on every call and every machine.
+func Generate(seed int64, size int, cfg Config) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	horizon := cfg.OpHorizon
+	if horizon <= 0 {
+		horizon = 64
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 1.0
+	}
+	stall := cfg.StallDelay
+	if stall <= 0 {
+		stall = 3 * timeout
+	}
+	p := &Plan{Timeout: timeout}
+	add := func(n int, mk func() Event) {
+		for i := 0; i < n; i++ {
+			e := mk()
+			e.Rank = rng.Intn(size)
+			e.Op = rng.Intn(horizon)
+			p.Events = append(p.Events, e)
+		}
+	}
+	add(cfg.Kills, func() Event { return Event{Kind: Kill} })
+	add(cfg.Stalls, func() Event { return Event{Kind: Stall, Delay: stall, Count: 1 + rng.Intn(3)} })
+	add(cfg.Drops, func() Event { return Event{Kind: Drop} })
+	add(cfg.Corrupts, func() Event { return Event{Kind: Corrupt} })
+	add(cfg.Degrades, func() Event {
+		return Event{Kind: Degrade, Factor: 2 + 6*rng.Float64(), Count: 2 + rng.Intn(6)}
+	})
+	add(cfg.Jitters, func() Event {
+		return Event{Kind: Jitter, Delay: timeout / 100 * rng.Float64(), Count: 1 + rng.Intn(4)}
+	})
+	// Deterministic order independent of the add sequence above.
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		if p.Events[i].Rank != p.Events[j].Rank {
+			return p.Events[i].Rank < p.Events[j].Rank
+		}
+		return p.Events[i].Op < p.Events[j].Op
+	})
+	return p
+}

@@ -29,6 +29,11 @@ type collIn struct {
 	send  []Buf
 	val   float64
 	buf   Buf
+	// Fault-injection effects of the contributing rank for this exchange:
+	// factor scales its communication time (degraded links), lost marks its
+	// outgoing blocks as dropped in transit.
+	factor float64
+	lost   bool
 }
 
 type collOut struct {
@@ -51,6 +56,12 @@ func newRendezvous(size int) *rendezvous {
 func (rv *rendezvous) exchange(w *World, rank int, in collIn, compute func(ins []collIn) []collOut) collOut {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
+	// A failed world never completes another rendezvous — and a rank that
+	// aborted mid-wait left its arrival registered, so re-entering would
+	// corrupt the count. Fail fast instead.
+	if w.failed.Load() {
+		panic(worldAborted{})
+	}
 	for rv.leaving > 0 {
 		if w.failed.Load() {
 			panic(worldAborted{})
@@ -96,6 +107,7 @@ func (rv *rendezvous) abortWake() {
 func (c *Comm) Barrier() {
 	st := c.state()
 	start := st.clock
+	c.faultEnter("MPI_Barrier")
 	m := c.Model()
 	out := c.core.rv.exchange(c.core.world, c.rank, collIn{clock: st.clock}, func(ins []collIn) []collOut {
 		t0 := maxClock(ins)
@@ -110,7 +122,7 @@ func (c *Comm) Barrier() {
 		}
 		return outs
 	})
-	st.clock = out.clock
+	st.clock = c.collClock("MPI_Barrier", start, out.clock)
 	c.record("MPI_Barrier", start, st.clock, 0)
 }
 
@@ -131,6 +143,7 @@ func (c *Comm) Bcast(root int, b Buf) Buf {
 	w := c.core.world
 	m := c.Model()
 	size := c.Size()
+	c.faultEnter("MPI_Bcast")
 	in := collIn{clock: st.clock}
 	if c.rank == root {
 		in.buf = b.clone()
@@ -150,7 +163,7 @@ func (c *Comm) Bcast(root int, b Buf) Buf {
 		}
 		return outs
 	})
-	st.clock = out.clock
+	st.clock = c.collClock("MPI_Bcast", start, out.clock)
 	c.record("MPI_Bcast", start, st.clock, out.buf.Bytes())
 	if c.rank == root {
 		return b
@@ -175,6 +188,7 @@ func (c *Comm) Allreduce(v float64, op ReduceOp) float64 {
 	w := c.core.world
 	m := c.Model()
 	size := c.Size()
+	c.faultEnter("MPI_Allreduce")
 	out := c.core.rv.exchange(w, c.rank, collIn{clock: st.clock, val: v}, func(ins []collIn) []collOut {
 		t0 := maxClock(ins)
 		acc := ins[0].val
@@ -196,7 +210,7 @@ func (c *Comm) Allreduce(v float64, op ReduceOp) float64 {
 		}
 		return outs
 	})
-	st.clock = out.clock
+	st.clock = c.collClock("MPI_Allreduce", start, out.clock)
 	c.record("MPI_Allreduce", start, st.clock, 8)
 	return out.val
 }
@@ -210,6 +224,7 @@ func (c *Comm) Gatherv(root int, b Buf) []Buf {
 	w := c.core.world
 	m := c.Model()
 	size := c.Size()
+	c.faultEnter("MPI_Gatherv")
 	out := c.core.rv.exchange(w, c.rank, collIn{clock: st.clock, buf: b.clone()}, func(ins []collIn) []collOut {
 		t0 := maxClock(ins)
 		rootW := c.WorldRank(root)
@@ -235,7 +250,7 @@ func (c *Comm) Gatherv(root int, b Buf) []Buf {
 		}
 		return outs
 	})
-	st.clock = out.clock
+	st.clock = c.collClock("MPI_Gatherv", start, out.clock)
 	c.record("MPI_Gatherv", start, st.clock, b.Bytes())
 	return out.recv
 }
@@ -248,6 +263,7 @@ func (c *Comm) Scatterv(root int, bufs []Buf) Buf {
 	w := c.core.world
 	m := c.Model()
 	size := c.Size()
+	c.faultEnter("MPI_Scatterv")
 	in := collIn{clock: st.clock}
 	if c.rank == root {
 		if len(bufs) != size {
@@ -278,7 +294,7 @@ func (c *Comm) Scatterv(root int, bufs []Buf) Buf {
 		outs[root].clock = t
 		return outs
 	})
-	st.clock = out.clock
+	st.clock = c.collClock("MPI_Scatterv", start, out.clock)
 	c.record("MPI_Scatterv", start, st.clock, out.buf.Bytes())
 	if c.rank == root {
 		return bufs[root]
@@ -332,9 +348,16 @@ func (c *Comm) alltoall(send []Buf, kind alltoallKind) []Buf {
 	w := c.core.world
 	m := c.Model()
 
-	in := collIn{clock: st.clock, send: make([]Buf, size)}
+	eff := c.faultEnter(kind.name())
+	in := collIn{clock: st.clock, send: make([]Buf, size), lost: eff.Drop}
+	if eff.Factor > 1 {
+		in.factor = eff.Factor
+	}
 	for i, b := range send {
 		in.send[i] = b.clone()
+		if eff.Corrupt && i != c.rank {
+			in.send[i].Corrupt = true
+		}
 	}
 	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
 		t0 := maxClock(ins)
@@ -416,20 +439,45 @@ func (c *Comm) alltoall(send []Buf, kind alltoallKind) []Buf {
 				}
 			}
 
+			if f := ins[r].factor; f > 1 {
+				// Degraded link: this rank's whole exchange slows down.
+				t *= f
+			}
+
 			recv := make([]Buf, size)
 			for s := 0; s < size; s++ {
 				recv[s] = ins[s].send[r]
 			}
 			outs[r] = collOut{clock: t0 + t, recv: recv}
 		}
+		// Dropped contributions: every rank expecting a nonzero block from a
+		// lost sender waits forever — its completion moves past any finite
+		// bound and surfaces as ErrExchangeTimeout in collClock below.
+		for r := 0; r < size; r++ {
+			if !ins[r].lost {
+				continue
+			}
+			for dst := 0; dst < size; dst++ {
+				if dst == r || ins[r].send[dst].Bytes() == 0 {
+					continue
+				}
+				outs[dst].clock = math.Inf(1)
+			}
+		}
 		return outs
 	})
-	st.clock = out.clock
+	st.clock = c.collClock(kind.name(), start, out.clock)
 	var bytes int
 	for _, b := range send {
 		bytes += b.Bytes()
 	}
 	c.record(kind.name(), start, st.clock, bytes)
+	for s, b := range out.recv {
+		if b.Corrupt && s != c.rank {
+			c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: %s block from rank %d failed verification",
+				ErrMessageCorrupt, c.WorldRank(c.rank), kind.name(), c.WorldRank(s)))
+		}
+	}
 	return out.recv
 }
 

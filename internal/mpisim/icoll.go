@@ -2,6 +2,7 @@ package mpisim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/machine"
 )
@@ -13,6 +14,7 @@ import (
 // remaining communication time at Wait.
 type CollRequest struct {
 	comm       *Comm
+	postedAt   float64
 	completeAt float64
 	recv       []Buf
 	done       bool
@@ -39,10 +41,17 @@ func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
 	w := c.core.world
 	m := c.Model()
 
-	in := collIn{clock: st.clock, send: make([]Buf, size)}
+	eff := c.faultEnter("MPI_Ialltoallv")
+	in := collIn{clock: st.clock, send: make([]Buf, size), lost: eff.Drop}
+	if eff.Factor > 1 {
+		in.factor = eff.Factor
+	}
 	totalBytes := 0
 	for i, b := range send {
 		in.send[i] = b.clone()
+		if eff.Corrupt && i != c.rank {
+			in.send[i].Corrupt = true
+		}
 		totalBytes += b.Bytes()
 	}
 	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
@@ -83,11 +92,25 @@ func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
 				dstW := c.WorldRank(dst)
 				t += oh + float64(bytes)/m.FlowBW(srcW, dstW, w.nodes) + m.Latency(srcW, dstW)
 			}
+			if f := ins[r].factor; f > 1 {
+				t *= f
+			}
 			recv := make([]Buf, size)
 			for s := 0; s < size; s++ {
 				recv[s] = ins[s].send[r]
 			}
 			outs[r] = collOut{clock: t0 + t, recv: recv}
+		}
+		for r := 0; r < size; r++ {
+			if !ins[r].lost {
+				continue
+			}
+			for dst := 0; dst < size; dst++ {
+				if dst == r || ins[r].send[dst].Bytes() == 0 {
+					continue
+				}
+				outs[dst].clock = math.Inf(1)
+			}
 		}
 		return outs
 	})
@@ -95,7 +118,7 @@ func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
 	post := m.HostOverheadColl
 	st.clock += post
 	c.record("MPI_Ialltoallv", start, st.clock, totalBytes)
-	return &CollRequest{comm: c, completeAt: out.clock, recv: out.recv, bytes: totalBytes}
+	return &CollRequest{comm: c, postedAt: start, completeAt: out.clock, recv: out.recv, bytes: totalBytes}
 }
 
 // WaitColl completes a non-blocking collective, advancing the clock to the
@@ -110,10 +133,18 @@ func (c *Comm) WaitColl(r *CollRequest) []Buf {
 	}
 	st := c.state()
 	start := st.clock
-	if r.completeAt > st.clock {
-		st.clock = r.completeAt
+	// The timeout bound covers post → completion: a straggler or a dropped
+	// contribution fails the wait instead of stretching it unboundedly.
+	if end := c.collClock("MPI_Ialltoallv", r.postedAt, r.completeAt); end > st.clock {
+		st.clock = end
 	}
 	r.done = true
 	c.record("MPI_Wait(coll)", start, st.clock, r.bytes)
+	for s, b := range r.recv {
+		if b.Corrupt && s != c.rank {
+			c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: Ialltoallv block from rank %d failed verification",
+				ErrMessageCorrupt, c.WorldRank(c.rank), c.WorldRank(s)))
+		}
+	}
 	return r.recv
 }

@@ -40,9 +40,15 @@ func (c *Comm) postSend(dst, tag int, b Buf) (portDone float64, cost float64) {
 	}
 	w := c.core.world
 	w.checkFailed()
+	eff := c.faultEnter("send")
 	st := c.state()
 	srcW, dstW := c.WorldRank(c.rank), c.WorldRank(dst)
 	mc := w.model.MsgCost(b.Bytes(), srcW, dstW, w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassP2P)
+	if eff.Factor > 1 {
+		// Degraded link: serialization and latency scale, software costs don't.
+		mc.PortTime *= eff.Factor
+		mc.Latency *= eff.Factor
+	}
 
 	st.clock += mc.PostOverhead + mc.PreStage
 	start := math.Max(st.clock, st.portFreeAt)
@@ -56,6 +62,16 @@ func (c *Comm) postSend(dst, tag int, b Buf) (portDone float64, cost float64) {
 		arrival:      st.portFreeAt + mc.Latency,
 		postStage:    mc.PostStage,
 		recvOverhead: mc.RecvOverhead,
+	}
+	if eff.Drop {
+		// The sender proceeds normally (it cannot know); the receiver claims
+		// a tombstone whose wait is bounded by the exchange timeout.
+		m.dropped = true
+		m.buf = Buf{Loc: m.buf.Loc}
+		m.arrival = math.Inf(1)
+	}
+	if eff.Corrupt {
+		m.buf.Corrupt = true
 	}
 	mb := w.mail[dstW]
 	mb.mu.Lock()
@@ -148,13 +164,32 @@ func (c *Comm) compact(mb *mailbox) {
 	}
 }
 
-// completeRecv advances the receiver clock for a claimed message.
+// completeRecv advances the receiver clock for a claimed message, enforcing
+// the per-exchange timeout: a message arriving past the bound (a stalled or
+// degraded sender) or never (a dropped one) raises ErrExchangeTimeout
+// instead of an unbounded wait.
 func (c *Comm) completeRecv(m *message) {
 	st := c.state()
+	bound := c.core.world.timeoutBound()
+	if m.dropped {
+		if bound <= 0 {
+			// No bound configured: the loss is still detected, immediately.
+			c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: message from rank %d lost in transit",
+				ErrExchangeTimeout, c.WorldRank(c.rank), c.WorldRank(m.src)))
+		}
+		c.timeoutFault("recv", st.clock, bound)
+	}
+	if bound > 0 && m.arrival > st.clock+bound {
+		c.timeoutFault("recv", st.clock, bound)
+	}
 	if m.arrival > st.clock {
 		st.clock = m.arrival
 	}
 	st.clock += m.postStage + m.recvOverhead
+	if m.buf.Corrupt {
+		c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: payload from rank %d failed verification",
+			ErrMessageCorrupt, c.WorldRank(c.rank), c.WorldRank(m.src)))
+	}
 }
 
 // Wait completes a request. For receives it returns the received payload.

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/trace"
 )
@@ -43,6 +44,10 @@ type Buf struct {
 	// buffers of the FFT reshape phases are the canonical case. The receiver
 	// owns a moved buffer outright and may recycle it.
 	Move bool
+	// Corrupt marks a payload damaged in transit by fault injection; the
+	// receiving side detects it (modeling transport checksums) and raises
+	// ErrMessageCorrupt rather than silently delivering bad data.
+	Corrupt bool
 }
 
 // Elems reports the number of elements in the buffer.
@@ -82,11 +87,11 @@ func (b Buf) clone() Buf {
 	case b.Data != nil:
 		d := make([]complex128, len(b.Data))
 		copy(d, b.Data)
-		return Buf{Data: d, Loc: b.Loc}
+		return Buf{Data: d, Loc: b.Loc, Corrupt: b.Corrupt}
 	case b.Real != nil:
 		d := make([]float64, len(b.Real))
 		copy(d, b.Real)
-		return Buf{Real: d, Loc: b.Loc}
+		return Buf{Real: d, Loc: b.Loc, Corrupt: b.Corrupt}
 	default:
 		return b
 	}
@@ -101,6 +106,15 @@ type Options struct {
 	// Tracer, when non-nil, records one event per MPI call and per GPU
 	// kernel.
 	Tracer *trace.Tracer
+	// Faults, when non-nil, injects the plan's seeded fault schedule into
+	// this world's exchanges: stalls, degraded links, dropped or corrupted
+	// messages, and rank kills, surfaced as typed errors (ErrRankFailed,
+	// ErrMessageCorrupt, ErrExchangeTimeout) instead of silent hangs.
+	Faults *faults.Plan
+	// ExchangeTimeout bounds the virtual-time wait of any single exchange
+	// (seconds): a rank stuck past it fails with ErrExchangeTimeout. Zero
+	// defers to the fault plan's Timeout (or no bound without a plan).
+	ExchangeTimeout float64
 }
 
 // World owns the ranks of one simulated job.
@@ -112,8 +126,9 @@ type World struct {
 	states []*rankState
 	mail   []*mailbox
 
-	failed atomic.Bool
-	panicV atomic.Value // first panic payload
+	failed   atomic.Bool
+	panicV   atomic.Value // first panic payload
+	faultErr atomic.Value // first injected-fault error (error)
 
 	commIDs atomic.Int64
 
@@ -146,6 +161,10 @@ func (w *World) Shared(key string, compute func() any) any {
 type rankState struct {
 	clock      float64 // virtual now
 	portFreeAt float64 // injection port busy-until
+	// ops counts fault-visible exchange operations (P2P sends, collective
+	// calls) — the coordinate system of fault plans. Deterministic: it
+	// depends only on the rank's own operation order.
+	ops int
 }
 
 type message struct {
@@ -158,6 +177,10 @@ type message struct {
 	postStage    float64
 	recvOverhead float64
 	claimed      bool
+	// dropped marks a tombstone: the message was lost in transit (fault
+	// injection). It still matches (src, tag) so the receiver's wait is
+	// bounded — claiming it raises ErrExchangeTimeout instead of hanging.
+	dropped bool
 }
 
 type mailbox struct {
@@ -210,6 +233,10 @@ type Result struct {
 	Clocks []float64
 	// MaxClock is the job's virtual makespan.
 	MaxClock float64
+	// Err is the injected fault that failed the world, if any (wrapping
+	// ErrRankFailed, ErrMessageCorrupt or ErrExchangeTimeout). Clocks are
+	// still reported: they hold each rank's virtual time at teardown.
+	Err error
 }
 
 // Run executes f once per rank, each on its own goroutine with a handle to
@@ -235,7 +262,7 @@ func (w *World) Run(f func(c *Comm)) Result {
 	if p := w.panicV.Load(); p != nil {
 		panic(fmt.Sprintf("mpisim: rank panicked: %v", p.(*panicBox).v))
 	}
-	res := Result{Clocks: make([]float64, w.size)}
+	res := Result{Clocks: make([]float64, w.size), Err: w.FaultError()}
 	for i, st := range w.states {
 		res.Clocks[i] = st.clock
 		if st.clock > res.MaxClock {
@@ -246,9 +273,15 @@ func (w *World) Run(f func(c *Comm)) Result {
 }
 
 // abort marks the world failed and wakes every blocked waiter so the whole
-// job tears down with a diagnostic instead of hanging.
+// job tears down with a diagnostic instead of hanging. Injected faults
+// (faultPanic) are recorded as the world's fault error, not as rank bugs.
 func (w *World) abort(p any) {
-	if _, secondary := p.(worldAborted); !secondary {
+	switch v := p.(type) {
+	case worldAborted:
+		// Secondary panic of a rank unblocked by the abort: nothing to record.
+	case faultPanic:
+		w.faultErr.CompareAndSwap(nil, v.err)
+	default:
 		w.panicV.CompareAndSwap(nil, &panicBox{p})
 	}
 	w.failed.Store(true)

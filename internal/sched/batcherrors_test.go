@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBatchErrorsPerItemDelivery: a runner returning index-aligned
+// BatchErrors fails each submitter with its own error, and stats count each
+// item by its own outcome.
+func TestBatchErrorsPerItemDelivery(t *testing.T) {
+	boom := errors.New("poison request")
+	run := func(key string, payloads []int) error {
+		errs := make([]error, len(payloads))
+		for i, p := range payloads {
+			if p == 13 {
+				errs[i] = boom
+			}
+		}
+		return &BatchErrors{Errs: errs}
+	}
+	s := New(Config{Workers: 1, Window: 50 * time.Millisecond, MaxBatch: 8}, run)
+	defer s.Close()
+	results := make(chan error, 2)
+	go func() { results <- s.Submit(context.Background(), "k", 13) }()
+	go func() { results <- s.Submit(context.Background(), "k", 7) }()
+	var failed, ok int
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed != 1 || ok != 1 {
+		t.Fatalf("got %d failed / %d ok, want 1/1", failed, ok)
+	}
+	st := s.Stats().Total
+	if st.Completed != 1 || st.Failed != 1 {
+		t.Errorf("stats completed=%d failed=%d, want 1/1", st.Completed, st.Failed)
+	}
+}
+
+// TestBatchErrorsLengthMismatchShared: a BatchErrors whose length does not
+// match the batch cannot be index-aligned; it is delivered as one shared
+// error to every member rather than misattributed.
+func TestBatchErrorsLengthMismatchShared(t *testing.T) {
+	bad := &BatchErrors{Errs: []error{errors.New("partial")}}
+	run := func(key string, payloads []int) error { return bad }
+	s := New(Config{Workers: 1, Window: 50 * time.Millisecond, MaxBatch: 8}, run)
+	defer s.Close()
+	results := make(chan error, 2)
+	go func() { results <- s.Submit(context.Background(), "k", 1) }()
+	go func() { results <- s.Submit(context.Background(), "k", 2) }()
+	for i := 0; i < 2; i++ {
+		var be *BatchErrors
+		if err := <-results; !errors.As(err, &be) {
+			t.Fatalf("submitter got %v, want the shared BatchErrors", err)
+		}
+	}
+	if st := s.Stats().Total; st.Failed != 2 {
+		t.Errorf("stats failed=%d, want 2", st.Failed)
+	}
+}
+
+// TestCancelInCutBatchCountedOnce is the CAS-cancellation regression test:
+// a submitter whose context ends after its request was already claimed into
+// a cut batch (the CompareAndSwap from stQueued fails) must be counted in
+// stats exactly once — one Cancelled bump from the mid-execution path, never
+// a second from the abandoned path — while the batch itself still completes
+// and counts the item by its execution outcome.
+func TestCancelInCutBatchCountedOnce(t *testing.T) {
+	r := &collectRunner{block: make(chan struct{}), started: make(chan struct{}, 1)}
+	s := New(Config{Workers: 1, Window: time.Millisecond, MaxBatch: 8}, r.run)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Submit(ctx, "k", 1) }()
+	<-r.started // the request is inside the runner: the cut batch claimed it
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit = %v, want context.Canceled", err)
+	}
+	close(r.block)
+	s.Close()
+	st := s.Stats().Total
+	if st.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want exactly 1", st.Cancelled)
+	}
+	if st.Submitted != 1 {
+		t.Errorf("Submitted = %d, want 1", st.Submitted)
+	}
+	// The batch ran to completion without the submitter: its outcome is
+	// still recorded exactly once.
+	if st.Completed+st.Failed != 1 {
+		t.Errorf("Completed+Failed = %d, want 1", st.Completed+st.Failed)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after drain, want 0", st.InFlight)
+	}
+}

@@ -1,6 +1,9 @@
 package sched
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Typed sentinel errors returned (wrapped with %w, so errors.Is works) by
 // Scheduler.Submit. The heffte facade re-exports them so service callers can
@@ -22,3 +25,30 @@ var (
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("scheduler closed")
 )
+
+// BatchErrors is a runner result carrying one error per batch item (index-
+// aligned with the payload slice). A runner that can fail items independently
+// — the serving layer's split-and-retry recovery isolates a poison request
+// this way — returns it instead of one shared error, and the scheduler
+// delivers Errs[i] to submitter i; nil entries succeed. Stats count each item
+// by its own outcome.
+type BatchErrors struct {
+	Errs []error
+}
+
+func (b *BatchErrors) Error() string {
+	n := 0
+	var first error
+	for _, e := range b.Errs {
+		if e != nil {
+			n++
+			if first == nil {
+				first = e
+			}
+		}
+	}
+	if first == nil {
+		return "sched: batch errors: none"
+	}
+	return fmt.Sprintf("sched: %d/%d batch items failed, first: %v", n, len(b.Errs), first)
+}

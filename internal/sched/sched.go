@@ -19,6 +19,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -296,16 +297,23 @@ func (s *Scheduler[T]) execBatch(key string, batch []*item[T]) {
 		k.BatchSizes.observe(float64(len(items)))
 	})
 	err := s.run(key, payloads)
+	// A runner may fail items independently (BatchErrors, index-aligned):
+	// each submitter receives its own error and is counted by its own outcome.
+	perItem := func(i int) error { return err }
+	var be *BatchErrors
+	if errors.As(err, &be) && len(be.Errs) == len(items) {
+		perItem = func(i int) error { return be.Errs[i] }
+	}
 	end := time.Now()
-	for _, it := range items {
-		it.err = err
+	for i, it := range items {
+		it.err = perItem(i)
 		it.state.Store(stDone)
 		close(it.done)
 	}
 	s.stats.bump(key, func(k *KeyStats) {
 		k.InFlight -= len(items)
-		for _, it := range items {
-			if err != nil {
+		for i, it := range items {
+			if perItem(i) != nil {
 				k.Failed++
 			} else {
 				k.Completed++
