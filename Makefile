@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-serve smoke-serve chaos examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-serve smoke-serve chaos examples experiments quick-experiments
 
 all: build vet test
 
@@ -34,6 +34,12 @@ bench:
 # one full distributed Forward per iteration, 64 ranks, real payloads.
 bench-forward:
 	go test -run '^$$' -bench 'BenchmarkForward' -benchmem -benchtime 5x .
+
+# Single-line kernel ladder, strided/contiguous batches, and the blocked
+# reorder transposes (the BENCH_PR4.json numbers).
+bench-kernel:
+	go test -run '^$$' -bench 'BenchmarkKernel|BenchmarkStridedBatch|BenchmarkContigBatch|BenchmarkFFTBluestein' -benchmem ./internal/fft/
+	go test -run '^$$' -bench 'BenchmarkPackBlocked' -benchmem ./internal/tensor/
 
 # Coalescing-service throughput vs one-plan-per-request under identical
 # open-loop load (the BENCH_PR2.json numbers).

@@ -124,18 +124,7 @@ func (p *Plan) fftStageSingle(st stage, f *Field, dir fft.Direction) {
 	batch := box.Volume() / n
 	strided := axis != 2 && !p.opts.Contiguous
 	if !f.Phantom() {
-		plan := st.fplan
-		switch axis {
-		case 2:
-			plan.TransformBatch(f.Data, 1, s[2], s[0]*s[1], dir)
-		case 1:
-			for i0 := 0; i0 < s[0]; i0++ {
-				plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
-				plan.TransformBatch(plane, s[2], 1, s[2], dir)
-			}
-		case 0:
-			plan.TransformBatch(f.Data, s[1]*s[2], 1, s[1]*s[2], dir)
-		}
+		localFFT1D(st.fplan, f.Data, box, axis, p.opts.Contiguous, dir)
 	}
 	p.dev.FFT1D(n, batch, strided)
 }

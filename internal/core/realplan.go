@@ -350,15 +350,12 @@ func (p *RealPlan) r2cLocal(rf *RealField) *Field {
 	if rf.Phantom() {
 		return out
 	}
-	plan := p.rplan
-	// Pool-drawn and fully overwritten: rows*h covers the volume exactly.
+	// Pool-drawn and fully overwritten: rows*h covers the volume exactly. The
+	// whole pencil runs as one advanced-layout D2Z batch (zero-copy, parallel
+	// fan-out inside the fft package).
 	out.Data = getBuf[complex128](p.zBoxHalf.Volume())
-	for r := 0; r < rows; r++ {
-		spec, err := plan.Forward(rf.Data[r*n2 : (r+1)*n2])
-		if err != nil {
-			panic(err)
-		}
-		copy(out.Data[r*h:(r+1)*h], spec)
+	if err := p.rplan.ForwardBatch(rf.Data, 1, n2, out.Data, 1, h, rows); err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -373,14 +370,9 @@ func (p *RealPlan) c2rLocal(f *Field) *RealField {
 	if f.Phantom() {
 		return rf
 	}
-	plan := p.rplan
 	rf.Data = getBuf[float64](p.zBoxReal.Volume())
-	for r := 0; r < rows; r++ {
-		x, err := plan.Inverse(f.Data[r*h : (r+1)*h])
-		if err != nil {
-			panic(err)
-		}
-		copy(rf.Data[r*n2:(r+1)*n2], x)
+	if err := p.rplan.InverseBatch(f.Data, 1, h, rf.Data, 1, n2, rows); err != nil {
+		panic(err)
 	}
 	return rf
 }
@@ -396,18 +388,7 @@ func (p *RealPlan) fft1D(st stage, f *Field, dir fft.Direction) {
 	batch := box.Volume() / n
 	strided := st.axis != 2 && !p.opts.Contiguous
 	if !f.Phantom() {
-		plan := st.fplan
-		switch st.axis {
-		case 1:
-			for i0 := 0; i0 < s[0]; i0++ {
-				plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
-				plan.TransformBatch(plane, s[2], 1, s[2], dir)
-			}
-		case 0:
-			plan.TransformBatch(f.Data, s[1]*s[2], 1, s[1]*s[2], dir)
-		case 2:
-			plan.TransformBatch(f.Data, 1, s[2], s[0]*s[1], dir)
-		}
+		localFFT1D(st.fplan, f.Data, box, st.axis, p.opts.Contiguous, dir)
 	}
 	p.dev.FFT1D(n, batch, strided)
 }

@@ -1,0 +1,46 @@
+// Package fft implements serial fast Fourier transforms used as the local
+// (single-device) kernel of the distributed transforms in internal/core.
+//
+// It plays the role cuFFT, rocFFT and FFTW play in the paper: the distributed
+// layer calls into it for batches of 1-D, 2-D and 3-D complex-to-complex and
+// real-to-complex transforms over contiguous or strided data. All numerics
+// are exact pure-Go implementations; the *cost* of these kernels on a GPU is
+// modelled separately by internal/gpu, so rewriting this engine changes host
+// wall-clock only — virtual-time results are untouched.
+//
+// # Engine structure, in FFTW/cuFFT vocabulary
+//
+//   - Codelets (codelet.go): lengths n <= 32 are fully unrolled straight-line
+//     transforms — FFTW's "codelet" leaves. They skip the bit-reversal pass
+//     and all twiddle-table lookups; these are the leaf sizes of every
+//     Bluestein sub-transform and of the 64³ LAMMPS batches.
+//   - Radix-4 passes (kernel.go): larger powers of two run an iterative
+//     decimation-in-time transform whose radix-2 stages are fused in pairs,
+//     so one sweep over memory does the work of two textbook stages; odd
+//     log2(n) gets a single twiddle-free radix-2 fix-up. Twiddles are stored
+//     per pass as (t1,t2,t3) triples in consumption order, the cache-friendly
+//     analogue of cuFFT's per-stage twiddle layout. The input permutation is
+//     fused into the first stage's gather (ping-ponging through a pooled
+//     buffer), and the inverse 1/N scaling is fused into the final pass — no
+//     standalone bit-reversal or scaling sweeps remain.
+//   - Bluestein (fft.go): arbitrary lengths run the chirp-z algorithm over a
+//     power-of-two sub-plan, with the 1/N of the inverse folded into the
+//     output chirp multiply.
+//   - Advanced layouts (blocked.go): TransformBatch takes cuFFT's advanced
+//     (stride, dist, batch) layout; TransformNested takes the two-level
+//     howmany_dims shape of FFTW's guru interface, which lets the middle-axis
+//     pass of a 3-D transform run as one batched call. Strided batches
+//     execute through a blocked tile transpose — B lines are transposed into
+//     a contiguous pooled tile (gathering in bit-reversed order for free),
+//     transformed in place, and transposed back — the buffered/blocked
+//     strided execution strategy FFTW applies when stride != 1.
+//   - Real transforms (real.go): RealPlan implements the D2Z/Z2D half-spectrum
+//     layout with the two-for-one packing trick, including batched advanced
+//     layouts on both sides (ForwardBatch/InverseBatch).
+//   - Parallel batches (parallel.go): large batches fan out over a bounded
+//     process-wide worker pool; workers claim whole tiles through an atomic
+//     cursor, and results are bit-identical to serial execution.
+//
+// Plans are cached in a bounded LRU and are safe for concurrent use; all
+// steady-state execution paths draw scratch from pools and allocate nothing.
+package fft

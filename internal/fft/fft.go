@@ -1,15 +1,3 @@
-// Package fft implements serial fast Fourier transforms used as the local
-// (single-device) kernel of the distributed transforms in internal/core.
-//
-// It plays the role cuFFT, rocFFT and FFTW play in the paper: the distributed
-// layer calls into it for batches of 1-D, 2-D and 3-D complex-to-complex
-// transforms over contiguous or strided data. All numerics are exact pure-Go
-// implementations; the *cost* of these kernels on a GPU is modelled separately
-// by internal/gpu.
-//
-// Power-of-two lengths use an iterative radix-2 Cooley-Tukey algorithm with a
-// precomputed bit-reversal permutation and twiddle table. Arbitrary lengths
-// use Bluestein's chirp-z algorithm on top of a power-of-two transform.
 package fft
 
 import (
@@ -43,19 +31,26 @@ func (d Direction) String() string {
 type Plan struct {
 	n int
 
-	// Power-of-two machinery (nil when n is not a power of two).
-	rev  []int           // bit-reversal permutation
-	twid [2][]complex128 // twiddles per direction: exp(∓2πi j/n) for j < n/2
+	// Power-of-two machinery (empty when n is not a power of two, or when
+	// n <= maxCodelet and the unrolled codelets need no tables).
+	rev       []int32         // bit-reversal permutation
+	tw4       [2][][]twiddle3 // per-direction, per-pass fused radix-4 twiddles
+	preRadix2 bool            // odd log2(n): one radix-2 fix-up stage first
+	firstTabS int             // quarter-block size of the first tabulated pass
 
 	// Bluestein machinery (nil when n is a power of two).
 	bluestein *bluesteinPlan
 
-	// scratch recycles per-transform work buffers (the Bluestein convolution
-	// buffer and the gather/scatter buffer of strided batches) so steady-state
+	// scratch recycles the Bluestein convolution buffer so steady-state
 	// transforms allocate nothing. Buffers are scratchLen long: the Bluestein
 	// length m when the plan is a Bluestein plan, n otherwise.
 	scratch    sync.Pool // *[]complex128, len scratchLen
 	scratchLen int
+
+	// tile recycles the blocked strided-batch transpose buffers
+	// (tileLines·n elements, see blocked.go).
+	tile      sync.Pool // *[]complex128, len tileLines*n
+	tileLines int
 }
 
 // getScratch returns a zero-filled-on-demand work buffer of length
@@ -176,7 +171,7 @@ func NewPlan(n int) *Plan {
 }
 
 func newPlanUncached(n int) *Plan {
-	p := &Plan{n: n, scratchLen: n}
+	p := &Plan{n: n, scratchLen: n, tileLines: tileLinesFor(n)}
 	if isPow2(n) {
 		p.initPow2()
 	} else {
@@ -196,27 +191,6 @@ func nextPow2(n int) int {
 		return 1
 	}
 	return 1 << (bits.Len(uint(n - 1)))
-}
-
-func (p *Plan) initPow2() {
-	n := p.n
-	p.rev = make([]int, n)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := range p.rev {
-		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
-	}
-	for d := 0; d < 2; d++ {
-		sign := -1.0
-		if Direction(d) == Inverse {
-			sign = 1.0
-		}
-		tw := make([]complex128, n/2)
-		for j := range tw {
-			ang := sign * 2 * math.Pi * float64(j) / float64(n)
-			tw[j] = complex(math.Cos(ang), math.Sin(ang))
-		}
-		p.twid[d] = tw
-	}
 }
 
 func (p *Plan) initBluestein() {
@@ -244,54 +218,20 @@ func (p *Plan) initBluestein() {
 				q[b.m-k] = cc
 			}
 		}
-		b.sub.transformPow2(q, Forward)
+		b.sub.kernelPow2(q, Forward, 1)
 		b.bq[d] = q
 	}
 	p.bluestein = b
 }
 
 // Transform computes an in-place transform of data, which must have length
-// p.N(). The inverse direction includes the 1/N scaling.
+// p.N(). The inverse direction includes the 1/N scaling, fused into the
+// final butterfly pass (pow-2) or the output chirp multiply (Bluestein).
 func (p *Plan) Transform(data []complex128, dir Direction) {
 	if len(data) != p.n {
 		panic(fmt.Sprintf("fft: Transform length %d does not match plan length %d", len(data), p.n))
 	}
-	if p.bluestein == nil {
-		p.transformPow2(data, dir)
-		if dir == Inverse {
-			scale(data, 1/float64(p.n))
-		}
-		return
-	}
-	p.transformBluestein(data, dir)
-}
-
-func (p *Plan) transformPow2(data []complex128, dir Direction) {
-	n := p.n
-	if n == 1 {
-		return
-	}
-	rev := p.rev
-	for i, j := range rev {
-		if i < j {
-			data[i], data[j] = data[j], data[i]
-		}
-	}
-	tw := p.twid[dir]
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size
-		for start := 0; start < n; start += size {
-			k := 0
-			for j := start; j < start+half; j++ {
-				a := data[j]
-				b := data[j+half] * tw[k]
-				data[j] = a + b
-				data[j+half] = a - b
-				k += step
-			}
-		}
-	}
+	p.transformContig(data, dir)
 }
 
 func (p *Plan) transformBluestein(data []complex128, dir Direction) {
@@ -310,15 +250,22 @@ func (p *Plan) transformBluestein(data []complex128, dir Direction) {
 		}
 		a[k] = data[k] * c
 	}
-	b.sub.transformPow2(a, Forward)
+	wp := b.sub.getScratch()
+	work := (*wp)[:b.m]
+	b.sub.kernelPow2Buf(a, work, Forward, 1)
 	q := b.bq[dir]
 	for i := range a {
 		a[i] *= q[i]
 	}
-	b.sub.transformPow2(a, Inverse)
+	b.sub.kernelPow2Buf(a, work, Inverse, 1)
+	b.sub.putScratch(wp)
 	// The two opposite-direction sub-transforms cancel their scaling except
-	// for the 1/m of the inverse, applied here.
+	// for the 1/m of the inverse; the transform's own inverse 1/n rides the
+	// same output multiply, so no separate scaling sweep runs.
 	invM := 1 / float64(b.m)
+	if dir == Inverse {
+		invM /= float64(n)
+	}
 	for k := 0; k < n; k++ {
 		c := b.chirp[k]
 		if dir == Inverse {
@@ -326,65 +273,6 @@ func (p *Plan) transformBluestein(data []complex128, dir Direction) {
 		}
 		data[k] = a[k] * c * complex(invM, 0)
 	}
-	if dir == Inverse {
-		scale(data, 1/float64(n))
-	}
-}
-
-func scale(data []complex128, s float64) {
-	cs := complex(s, 0)
-	for i := range data {
-		data[i] *= cs
-	}
-}
-
-// TransformBatch computes batch transforms of length p.N() over data laid out
-// with the given element stride within one transform and distance dist between
-// the first elements of consecutive transforms. This matches the advanced
-// layout of cuFFT/FFTW plans (stride, dist, batch). Strided data is gathered
-// to a contiguous scratch buffer, transformed, and scattered back; numerics
-// are identical to the contiguous path (the *cost* difference of strided GPU
-// kernels is modelled in internal/gpu).
-//
-// Large batches are executed in parallel on a bounded worker pool shared by
-// every rank goroutine of the process (see Workers); the lines of one batch
-// touch disjoint elements, so results are bit-identical to serial execution.
-func (p *Plan) TransformBatch(data []complex128, stride, dist, batch int, dir Direction) {
-	if batch == 0 {
-		return
-	}
-	if stride < 1 || dist < 0 || batch < 0 {
-		panic(fmt.Sprintf("fft: invalid batch layout stride=%d dist=%d batch=%d", stride, dist, batch))
-	}
-	if batch > 1 && batch*p.n >= minParallelWork {
-		if p.transformBatchParallel(data, stride, dist, batch, dir) {
-			return
-		}
-	}
-	for b := 0; b < batch; b++ {
-		p.transformLine(data, stride, dist, b, dir)
-	}
-}
-
-// transformLine runs batch entry b of a (stride, dist) layout: directly for
-// unit stride, via a pooled gather/scatter buffer otherwise.
-func (p *Plan) transformLine(data []complex128, stride, dist, b int, dir Direction) {
-	n := p.n
-	base := b * dist
-	if stride == 1 {
-		p.Transform(data[base:base+n], dir)
-		return
-	}
-	sp := p.getScratch()
-	scratch := (*sp)[:n]
-	for i := 0; i < n; i++ {
-		scratch[i] = data[base+i*stride]
-	}
-	p.Transform(scratch, dir)
-	for i := 0; i < n; i++ {
-		data[base+i*stride] = scratch[i]
-	}
-	p.putScratch(sp)
 }
 
 // Transform1D is a convenience wrapper computing a single contiguous 1-D
@@ -414,13 +302,9 @@ func Transform3D(data []complex128, n0, n1, n2 int, dir Direction) {
 	}
 	// Along n2: contiguous.
 	NewPlan(n2).TransformBatch(data, 1, n2, n0*n1, dir)
-	// Along n1: stride n2, batched per (i0, i2) pair; iterate planes to keep
-	// dist handling simple.
-	p1 := NewPlan(n1)
-	for i0 := 0; i0 < n0; i0++ {
-		plane := data[i0*n1*n2 : (i0+1)*n1*n2]
-		p1.TransformBatch(plane, n2, 1, n2, dir)
-	}
+	// Along n1: stride n2, one nested batched call over all (i0, i2) pairs —
+	// the blocked tile path sees the whole middle-axis batch at once.
+	NewPlan(n1).TransformNested(data, n2, n1*n2, n0, 1, n2, dir)
 	// Along n0: stride n1*n2.
 	p0 := NewPlan(n0)
 	p0.TransformBatch(data, n1*n2, 1, n1*n2, dir)

@@ -1,0 +1,80 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Single-line kernel throughput across the size ladder: the leaf codelet
+// sizes (8..32), the radix-4 engine (64..4096), covering every power of two
+// the distributed pencil pipeline and the Bluestein sub-transforms hit.
+func BenchmarkKernel(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		b.Run(itoa(n), func(b *testing.B) {
+			x := randSignal(rand.New(rand.NewSource(11)), n)
+			p := NewPlan(n)
+			b.SetBytes(int64(16 * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Transform(x, Forward)
+			}
+		})
+	}
+}
+
+// Inverse single-line kernel: measures the fused 1/N scaling path. The input
+// is restored every iteration — repeated 1/N scaling would otherwise drive
+// the data into denormal range and measure FP-assist stalls, not the kernel.
+func BenchmarkKernelInverse(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(itoa(n), func(b *testing.B) {
+			x0 := randSignal(rand.New(rand.NewSource(12)), n)
+			x := make([]complex128, n)
+			p := NewPlan(n)
+			b.SetBytes(int64(16 * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(x, x0)
+				p.Transform(x, Inverse)
+			}
+		})
+	}
+}
+
+// Strided batches shaped like the column passes of Transform2D/3D and the
+// pencil pipeline: transform along the slow axis of an n×n plane (stride n,
+// dist 1). This is the path the blocked tile engine accelerates.
+func BenchmarkStridedBatch(b *testing.B) {
+	type shape struct{ n, batch int }
+	for _, s := range []shape{{64, 64}, {128, 128}, {256, 256}, {1024, 32}} {
+		b.Run(itoa(s.n)+"x"+itoa(s.batch), func(b *testing.B) {
+			x := randSignal(rand.New(rand.NewSource(13)), s.n*s.batch)
+			p := NewPlan(s.n)
+			b.SetBytes(int64(16 * s.n * s.batch))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.TransformBatch(x, s.batch, 1, s.batch, Forward)
+			}
+		})
+	}
+}
+
+// Contiguous batches (row passes): dominated by kernel speed, not layout.
+func BenchmarkContigBatch(b *testing.B) {
+	type shape struct{ n, batch int }
+	for _, s := range []shape{{128, 128}, {256, 256}} {
+		b.Run(itoa(s.n)+"x"+itoa(s.batch), func(b *testing.B) {
+			x := randSignal(rand.New(rand.NewSource(14)), s.n*s.batch)
+			p := NewPlan(s.n)
+			b.SetBytes(int64(16 * s.n * s.batch))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.TransformBatch(x, 1, s.n, s.batch, Forward)
+			}
+		})
+	}
+}

@@ -1,0 +1,251 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dft"
+)
+
+// Tests for the rewritten power-of-two engine: the codelet ladder, the fused
+// radix-4 passes (even and odd log2), the blocked strided tile path, the
+// nested guru-style layout, and the fused inverse scaling — each validated
+// against the O(n²) DFT oracle or a line-by-line reference.
+
+// pow2Ladder covers every codelet (8..32) and every radix-4 pass shape the
+// engine has: even log2 (first stage radix-4) and odd log2 (radix-2 fix-up),
+// up to the largest single-line size the pencil pipeline uses.
+var pow2Ladder = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+func TestKernelLadderMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range pow2Ladder {
+		x := randSignal(rng, n)
+		want := dft.Transform(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Transform(got, Forward)
+		if d := maxAbsDiff(got, want); d > tol*float64(n) {
+			t.Errorf("n=%d: forward kernel differs from DFT oracle by %g", n, d)
+		}
+	}
+}
+
+func TestKernelLadderInverseMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range pow2Ladder {
+		x := randSignal(rng, n)
+		want := dft.Inverse(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Transform(got, Inverse)
+		if d := maxAbsDiff(got, want); d > tol*float64(n) {
+			t.Errorf("n=%d: fused-scale inverse differs from DFT oracle by %g", n, d)
+		}
+	}
+}
+
+func TestKernelLadderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range pow2Ladder {
+		x := randSignal(rng, n)
+		got := append([]complex128(nil), x...)
+		p := NewPlan(n)
+		p.Transform(got, Forward)
+		p.Transform(got, Inverse)
+		if d := maxAbsDiff(got, x); d > tol*float64(n) {
+			t.Errorf("n=%d: inverse(forward(x)) differs from x by %g", n, d)
+		}
+	}
+}
+
+func TestKernelLadderParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, n := range pow2Ladder {
+		x := randSignal(rng, n)
+		var ein float64
+		for _, v := range x {
+			ein += real(v)*real(v) + imag(v)*imag(v)
+		}
+		NewPlan(n).Transform(x, Forward)
+		var eout float64
+		for _, v := range x {
+			eout += real(v)*real(v) + imag(v)*imag(v)
+		}
+		eout /= float64(n)
+		if math.Abs(ein-eout) > tol*float64(n)*(1+ein) {
+			t.Errorf("n=%d: Parseval violated: in=%g out=%g", n, ein, eout)
+		}
+	}
+}
+
+// TestBluesteinLengthsMatchDFT exercises the chirp-z path for the awkward
+// lengths the paper's shape sweeps hit (primes, prime powers, highly
+// composite), including ones whose power-of-two sub-transform crosses codelet
+// and radix-4 shapes.
+func TestBluesteinLengthsMatchDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, n := range []int{3, 5, 7, 11, 13, 17, 33, 45, 97, 121, 125, 243, 331, 500, 729} {
+		x := randSignal(rng, n)
+		want := dft.Transform(x)
+		got := append([]complex128(nil), x...)
+		p := NewPlan(n)
+		p.Transform(got, Forward)
+		if d := maxAbsDiff(got, want); d > tol*float64(n) {
+			t.Errorf("n=%d: Bluestein forward differs from DFT oracle by %g", n, d)
+		}
+		p.Transform(got, Inverse)
+		if d := maxAbsDiff(got, x); d > tol*float64(n) {
+			t.Errorf("n=%d: Bluestein round trip differs by %g", n, d)
+		}
+	}
+}
+
+// TestBlockedStridedMatchesContiguous checks that the tile-transposed strided
+// path is bit-identical to transforming each line contiguously: layouts cross
+// tile boundaries (batch > tileLines), leave a ragged final tile, and include
+// Bluestein and codelet lengths that bypass the bit-reversed gather.
+func TestBlockedStridedMatchesContiguous(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	rng := rand.New(rand.NewSource(26))
+	cases := []struct{ n, batch int }{
+		{8, 100},   // codelet lines, ragged tile
+		{32, 65},   // codelet lines, one over a tile
+		{64, 96},   // radix-4, three tiles
+		{128, 33},  // odd log2, ragged
+		{256, 256}, // full column pass
+		{60, 70},   // Bluestein lines in tiles
+	}
+	for _, tc := range cases {
+		// Column layout: stride = batch, adjacent lines 1 apart.
+		data := randSignal(rng, tc.n*tc.batch)
+		want := append([]complex128(nil), data...)
+		p := NewPlan(tc.n)
+		line := make([]complex128, tc.n)
+		for b := 0; b < tc.batch; b++ {
+			for i := 0; i < tc.n; i++ {
+				line[i] = want[b+i*tc.batch]
+			}
+			p.Transform(line, Forward)
+			for i := 0; i < tc.n; i++ {
+				want[b+i*tc.batch] = line[i]
+			}
+		}
+		p.TransformBatch(data, tc.batch, 1, tc.batch, Forward)
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("n=%d batch=%d: blocked strided result differs from contiguous at %d", tc.n, tc.batch, i)
+			}
+		}
+	}
+}
+
+// TestBlockedStridedRoundTrip drives forward∘inverse through the strided tile
+// path (fused 1/N in the tile kernel) and requires the identity.
+func TestBlockedStridedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, tc := range []struct{ n, batch int }{{64, 80}, {128, 128}, {60, 50}} {
+		data := randSignal(rng, tc.n*tc.batch)
+		orig := append([]complex128(nil), data...)
+		p := NewPlan(tc.n)
+		p.TransformBatch(data, tc.batch, 1, tc.batch, Forward)
+		p.TransformBatch(data, tc.batch, 1, tc.batch, Inverse)
+		if d := maxAbsDiff(data, orig); d > tol*float64(tc.n) {
+			t.Errorf("n=%d batch=%d: strided round trip differs by %g", tc.n, tc.batch, d)
+		}
+	}
+}
+
+// TestTransformNestedMatchesLineLoop checks the two-level guru layout against
+// per-line execution for a middle-axis shape (planes × rows).
+func TestTransformNestedMatchesLineLoop(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	rng := rand.New(rand.NewSource(28))
+	const n0, n1, n2 = 5, 32, 12 // transform along axis 1 of an n0×n1×n2 array
+	data := randSignal(rng, n0*n1*n2)
+	want := append([]complex128(nil), data...)
+	p := NewPlan(n1)
+	// Reference: one strided line at a time.
+	line := make([]complex128, n1)
+	for i0 := 0; i0 < n0; i0++ {
+		for i2 := 0; i2 < n2; i2++ {
+			base := i0*n1*n2 + i2
+			for j := 0; j < n1; j++ {
+				line[j] = want[base+j*n2]
+			}
+			p.Transform(line, Forward)
+			for j := 0; j < n1; j++ {
+				want[base+j*n2] = line[j]
+			}
+		}
+	}
+	p.TransformNested(data, n2, n1*n2, n0, 1, n2, Forward)
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("nested layout differs from line loop at %d", i)
+		}
+	}
+}
+
+// TestTransform3DMiddleAxisBatched pins the Transform3D collapse of the
+// middle-axis plane loop into one nested batched call: results must be
+// bit-identical to the per-plane loop it replaced.
+func TestTransform3DMiddleAxisBatched(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	rng := rand.New(rand.NewSource(29))
+	const n0, n1, n2 = 6, 16, 10
+	data := randSignal(rng, n0*n1*n2)
+	want := append([]complex128(nil), data...)
+	p := NewPlan(n1)
+	// The old shape: one strided batch per i0 plane.
+	for i0 := 0; i0 < n0; i0++ {
+		plane := want[i0*n1*n2 : (i0+1)*n1*n2]
+		p.TransformBatch(plane, n2, 1, n2, Forward)
+	}
+	p.TransformNested(data, n2, n1*n2, n0, 1, n2, Forward)
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("single nested call differs from per-plane loop at %d", i)
+		}
+	}
+}
+
+// TestSingleLineSteadyStateAllocs: a warmed plan's Forward/Inverse of one
+// line allocates nothing — the ping-pong buffer comes from the plan pool.
+func TestSingleLineSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under -race; allocation counts are meaningless")
+	}
+	for _, n := range []int{16, 64, 256, 1024, 60} {
+		p := NewPlan(n)
+		data := make([]complex128, n)
+		run := func() {
+			p.Transform(data, Forward)
+			p.Transform(data, Inverse)
+		}
+		run() // warm the pools
+		if avg := testing.AllocsPerRun(50, run); avg >= 1 {
+			t.Errorf("n=%d: Transform allocates %.2f times per call in steady state", n, avg)
+		}
+	}
+}
+
+// TestNestedSteadyStateAllocs: the blocked tile path of a nested middle-axis
+// batch allocates nothing once the tile pool is warm.
+func TestNestedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under -race; allocation counts are meaningless")
+	}
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	const n0, n1, n2 = 4, 64, 24
+	p := NewPlan(n1)
+	data := make([]complex128, n0*n1*n2)
+	run := func() { p.TransformNested(data, n2, n1*n2, n0, 1, n2, Forward) }
+	run()
+	if avg := testing.AllocsPerRun(50, run); avg >= 1 {
+		t.Errorf("TransformNested allocates %.2f times per call in steady state", avg)
+	}
+}

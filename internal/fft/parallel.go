@@ -14,10 +14,17 @@ import (
 // goroutines of the process. Work is handed off without blocking — if every
 // helper is busy serving another rank, the caller simply computes its whole
 // batch itself, so the pool is work-conserving and can never deadlock.
+//
+// Workers claim *chunks* of lines (a whole transpose tile on the strided
+// path) through a shared atomic cursor, so a claim amortizes the cursor
+// bump over many short transforms and never splits a tile between workers.
 
-// minParallelWork is the minimum batch*n element count before TransformBatch
+// minParallelWork is the minimum batch*n element count before a batch
 // considers fanning out; below it the handoff overhead dominates.
 const minParallelWork = 1 << 14
+
+// minChunkElems is the target element count of one unit-stride work claim.
+const minChunkElems = 1 << 11
 
 var (
 	workerMu      sync.Mutex
@@ -37,9 +44,10 @@ func Workers() int {
 }
 
 // SetWorkers bounds the total parallelism (calling goroutine plus helpers) a
-// single TransformBatch may use, and returns the previous bound. The default
-// is GOMAXPROCS at package init. n < 1 is treated as 1 (serial execution).
-// Helper goroutines are started lazily and shared by every plan and rank.
+// single batched transform may use, and returns the previous bound. The
+// default is GOMAXPROCS at package init. n < 1 is treated as 1 (serial
+// execution). Helper goroutines are started lazily and shared by every plan
+// and rank.
 func SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
@@ -51,26 +59,48 @@ func SetWorkers(n int) int {
 	return prev
 }
 
-// batchJob describes one parallel TransformBatch execution. Helpers and the
-// caller claim lines through the shared atomic cursor; wg tracks helper
+type jobKind uint8
+
+const (
+	jobComplex jobKind = iota // Plan batch over sp
+	jobR2C                    // RealPlan forward: rdata (rsp) -> data (sp)
+	jobC2R                    // RealPlan inverse: data (sp) -> rdata (rsp)
+)
+
+// batchJob describes one parallel batched execution. Helpers and the caller
+// claim chunks of lines through the shared atomic cursor; wg tracks helper
 // completion. Jobs are recycled through jobFree.
 type batchJob struct {
-	plan         *Plan
-	data         []complex128
-	stride, dist int
-	dir          Direction
-	batch        int
-	next         atomic.Int64
-	wg           sync.WaitGroup
+	kind  jobKind
+	plan  *Plan
+	rplan *RealPlan
+	data  []complex128
+	rdata []float64
+	sp    batchSpec // complex-side layout
+	rsp   batchSpec // real-side layout (real jobs only)
+	dir   Direction
+	total int // lines in the batch
+	chunk int // lines per claim
+	next  atomic.Int64
+	wg    sync.WaitGroup
 }
 
 func (j *batchJob) run() {
 	for {
-		b := int(j.next.Add(1)) - 1
-		if b >= j.batch {
+		c := int(j.next.Add(1)) - 1
+		lo := c * j.chunk
+		if lo >= j.total {
 			return
 		}
-		j.plan.transformLine(j.data, j.stride, j.dist, b, j.dir)
+		hi := min(lo+j.chunk, j.total)
+		switch j.kind {
+		case jobComplex:
+			j.plan.runLines(j.data, j.sp, lo, hi, j.dir)
+		case jobR2C:
+			j.rplan.r2cLines(j.rdata, j.rsp, j.data, j.sp, lo, hi)
+		case jobC2R:
+			j.rplan.c2rLines(j.data, j.sp, j.rdata, j.rsp, lo, hi)
+		}
 	}
 }
 
@@ -87,7 +117,9 @@ func getJob() *batchJob {
 
 func putJob(j *batchJob) {
 	j.plan = nil
+	j.rplan = nil
 	j.data = nil
+	j.rdata = nil
 	j.next.Store(0)
 	jobFreeMu.Lock()
 	jobFree = append(jobFree, j)
@@ -103,11 +135,11 @@ func worker() {
 
 // ensureHelpers spawns up to want persistent helper goroutines (process-wide)
 // and returns how many helpers this batch may use.
-func ensureHelpers(batch int) int {
+func ensureHelpers(chunks int) int {
 	workerMu.Lock()
 	want := workerTarget - 1
-	if want > batch-1 {
-		want = batch - 1
+	if want > chunks-1 {
+		want = chunks - 1
 	}
 	for workerSpawned < workerTarget-1 {
 		workerSpawned++
@@ -117,22 +149,24 @@ func ensureHelpers(batch int) int {
 	return want
 }
 
-// transformBatchParallel fans the batch out over the shared pool. It reports
-// false when no parallelism is available so the caller falls back to the
-// serial loop without paying for a job.
-func (p *Plan) transformBatchParallel(data []complex128, stride, dist, batch int, dir Direction) bool {
-	want := ensureHelpers(batch)
+// chunkLines picks the lines-per-claim granularity: a whole transpose tile
+// on the strided path (a tile must not split across workers), enough lines
+// to amortize the cursor on the unit-stride path.
+func (p *Plan) chunkLines(sp batchSpec) int {
+	if sp.stride != 1 {
+		return p.tileLines
+	}
+	return max(minChunkElems/p.n, 1)
+}
+
+// dispatch fans a prepared job out over the shared pool and runs it to
+// completion on the calling goroutine too. It reports false (leaving the job
+// untouched for the caller to reclaim) when no parallelism is available.
+func dispatch(j *batchJob, chunks int) bool {
+	want := ensureHelpers(chunks)
 	if want <= 0 {
 		return false
 	}
-	j := getJob()
-	j.plan = p
-	j.data = data
-	j.stride = stride
-	j.dist = dist
-	j.dir = dir
-	j.batch = batch
-	j.next.Store(0)
 	// Non-blocking handoff: recruit only helpers that are parked right now.
 	// A busy pool degrades gracefully to the caller computing alone.
 recruit:
@@ -148,5 +182,60 @@ recruit:
 	j.run()
 	j.wg.Wait()
 	putJob(j)
+	return true
+}
+
+// runBatchParallel fans the batch out over the shared pool. It reports false
+// when no parallelism is available so the caller falls back to the serial
+// loop without paying for a job.
+func (p *Plan) runBatchParallel(data []complex128, sp batchSpec, dir Direction) bool {
+	total := sp.total()
+	chunk := p.chunkLines(sp)
+	chunks := (total + chunk - 1) / chunk
+	if chunks < 2 {
+		return false
+	}
+	j := getJob()
+	j.kind = jobComplex
+	j.plan = p
+	j.data = data
+	j.sp = sp
+	j.dir = dir
+	j.total = total
+	j.chunk = chunk
+	j.next.Store(0)
+	if !dispatch(j, chunks) {
+		putJob(j)
+		return false
+	}
+	return true
+}
+
+// runRealBatchParallel is the RealPlan analogue: x and spec carry the real
+// and half-spectrum sides of a batched R2C (fwd) or C2R (!fwd) execution.
+func (p *RealPlan) runRealBatchParallel(x []float64, rsp batchSpec, spec []complex128, ssp batchSpec, fwd bool) bool {
+	total := rsp.total()
+	chunk := max(minChunkElems/p.n, 1)
+	chunks := (total + chunk - 1) / chunk
+	if chunks < 2 {
+		return false
+	}
+	j := getJob()
+	j.kind = jobR2C
+	if !fwd {
+		j.kind = jobC2R
+	}
+	j.rplan = p
+	j.rdata = x
+	j.rsp = rsp
+	j.data = spec
+	j.sp = ssp
+	j.total = total
+	j.chunk = chunk
+	j.next.Store(0)
+	if !dispatch(j, chunks) {
+		putJob(j)
+		return false
+	}
 	return true
 }

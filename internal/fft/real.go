@@ -3,6 +3,7 @@ package fft
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Real-to-complex and complex-to-real transforms. Real input of length n has
@@ -12,13 +13,23 @@ import (
 // packs the real signal into a half-length complex transform (the classic
 // "two-for-one" trick), so it costs roughly half a complex FFT of the same
 // length.
+//
+// Like the complex Plan, a RealPlan supports cuFFT's advanced batched layout
+// (stride, dist, batch) on both sides of the transform via ForwardBatch and
+// InverseBatch, executes large batches on the shared worker pool, and keeps
+// its pack buffer in a pool so steady-state batched transforms allocate
+// nothing.
 
 // RealPlan holds tables for real transforms of a fixed even length.
+// A RealPlan is safe for concurrent use by multiple goroutines once created.
 type RealPlan struct {
 	n    int
 	half *Plan
-	// tw[k] = exp(-πik/ (n/2)) … the post-processing twiddles.
+	// tw[k] = exp(-2πik/n) for k <= n/2 … the post-processing twiddles.
 	tw []complex128
+	// scratch recycles the half-length pack buffer (n/2 complex values) so
+	// batched transforms allocate nothing in steady state.
+	scratch sync.Pool // *[]complex128, len n/2
 }
 
 // NewRealPlan returns a plan for real transforms of even length n >= 2.
@@ -41,64 +52,207 @@ func (p *RealPlan) N() int { return p.n }
 // SpectrumLen reports the stored half-spectrum length, n/2+1.
 func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
 
+func (p *RealPlan) getScratch() *[]complex128 {
+	if v := p.scratch.Get(); v != nil {
+		return v.(*[]complex128)
+	}
+	buf := make([]complex128, p.n/2)
+	return &buf
+}
+
+func (p *RealPlan) putScratch(b *[]complex128) { p.scratch.Put(b) }
+
 // Forward computes the half-spectrum of the real signal x (length n),
 // returning n/2+1 complex coefficients with X[0] and X[n/2] purely real.
 func (p *RealPlan) Forward(x []float64) ([]complex128, error) {
-	if len(x) != p.n {
-		return nil, fmt.Errorf("fft: real input length %d != plan length %d", len(x), p.n)
-	}
-	h := p.n / 2
-	// Pack pairs into a complex signal z[j] = x[2j] + i·x[2j+1].
-	z := make([]complex128, h)
-	for j := 0; j < h; j++ {
-		z[j] = complex(x[2*j], x[2*j+1])
-	}
-	p.half.Transform(z, Forward)
-	// Unpack: split Z into the spectra of the even and odd subsequences and
-	// combine with twiddles.
-	out := make([]complex128, h+1)
-	for k := 0; k <= h; k++ {
-		var zk, znk complex128
-		switch {
-		case k == h:
-			zk = z[0]
-			znk = z[0]
-		case k == 0:
-			zk = z[0]
-			znk = z[0]
-		default:
-			zk = z[k]
-			znk = z[h-k]
-		}
-		even := (zk + conj(znk)) / 2
-		odd := (zk - conj(znk)) / complex(0, 2)
-		out[k] = even + p.tw[k]*odd
+	out := make([]complex128, p.n/2+1)
+	if err := p.ForwardInto(x, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ForwardInto computes the half-spectrum of x (length n) into spec (length
+// n/2+1) without allocating.
+func (p *RealPlan) ForwardInto(x []float64, spec []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: real input length %d != plan length %d", len(x), p.n)
+	}
+	if len(spec) != p.n/2+1 {
+		return fmt.Errorf("fft: half-spectrum length %d != %d", len(spec), p.n/2+1)
+	}
+	zp := p.getScratch()
+	p.r2cLine(x, 0, 1, spec, 0, 1, (*zp)[:p.n/2])
+	p.putScratch(zp)
+	return nil
 }
 
 // Inverse reconstructs the real signal from its half-spectrum (length
 // n/2+1), scaled so Inverse(Forward(x)) == x.
 func (p *RealPlan) Inverse(spec []complex128) ([]float64, error) {
-	if len(spec) != p.n/2+1 {
-		return nil, fmt.Errorf("fft: half-spectrum length %d != %d", len(spec), p.n/2+1)
+	out := make([]float64, p.n)
+	if err := p.InverseInto(spec, out); err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// InverseInto reconstructs the real signal from its half-spectrum into x
+// (length n) without allocating.
+func (p *RealPlan) InverseInto(spec []complex128, x []float64) error {
+	if len(spec) != p.n/2+1 {
+		return fmt.Errorf("fft: half-spectrum length %d != %d", len(spec), p.n/2+1)
+	}
+	if len(x) != p.n {
+		return fmt.Errorf("fft: real output length %d != plan length %d", len(x), p.n)
+	}
+	zp := p.getScratch()
+	p.c2rLine(spec, 0, 1, x, 0, 1, (*zp)[:p.n/2])
+	p.putScratch(zp)
+	return nil
+}
+
+// ForwardBatch computes batch real-to-complex transforms in cuFFT's advanced
+// D2Z layout: real line b reads x[b·xDist + i·xStride] for i < n, and its
+// half-spectrum writes spec[b·specDist + k·specStride] for k <= n/2. Large
+// batches fan out over the shared worker pool; lines touch disjoint
+// elements, so results are bit-identical to serial execution.
+func (p *RealPlan) ForwardBatch(x []float64, xStride, xDist int, spec []complex128, specStride, specDist, batch int) error {
+	rsp, ssp, err := p.batchSpecs(len(x), xStride, xDist, len(spec), specStride, specDist, batch)
+	if err != nil {
+		return err
+	}
+	if batch == 0 {
+		return nil
+	}
+	if batch > 1 && batch*p.n >= minParallelWork {
+		if p.runRealBatchParallel(x, rsp, spec, ssp, true) {
+			return nil
+		}
+	}
+	p.r2cLines(x, rsp, spec, ssp, 0, batch)
+	return nil
+}
+
+// InverseBatch is the batched Z2D inverse: spectrum line b reads
+// spec[b·specDist + k·specStride], and the reconstructed real line writes
+// x[b·xDist + i·xStride], scaled so InverseBatch(ForwardBatch(x)) == x.
+func (p *RealPlan) InverseBatch(spec []complex128, specStride, specDist int, x []float64, xStride, xDist, batch int) error {
+	rsp, ssp, err := p.batchSpecs(len(x), xStride, xDist, len(spec), specStride, specDist, batch)
+	if err != nil {
+		return err
+	}
+	if batch == 0 {
+		return nil
+	}
+	if batch > 1 && batch*p.n >= minParallelWork {
+		if p.runRealBatchParallel(x, rsp, spec, ssp, false) {
+			return nil
+		}
+	}
+	p.c2rLines(spec, ssp, x, rsp, 0, batch)
+	return nil
+}
+
+// batchSpecs validates a two-sided advanced layout against the array lengths
+// and returns the real- and spectrum-side specs.
+func (p *RealPlan) batchSpecs(xLen, xStride, xDist, sLen, specStride, specDist, batch int) (rsp, ssp batchSpec, err error) {
+	if xStride < 1 || specStride < 1 || xDist < 0 || specDist < 0 || batch < 0 {
+		return rsp, ssp, fmt.Errorf("fft: invalid real batch layout xStride=%d xDist=%d specStride=%d specDist=%d batch=%d",
+			xStride, xDist, specStride, specDist, batch)
+	}
+	if batch > 0 {
+		if need := (batch-1)*xDist + (p.n-1)*xStride + 1; xLen < need {
+			return rsp, ssp, fmt.Errorf("fft: real array length %d < %d required by layout", xLen, need)
+		}
+		if need := (batch-1)*specDist + (p.n/2)*specStride + 1; sLen < need {
+			return rsp, ssp, fmt.Errorf("fft: spectrum array length %d < %d required by layout", sLen, need)
+		}
+	}
+	rsp = batchSpec{stride: xStride, batch1: 1, dist2: xDist, batch2: batch}
+	ssp = batchSpec{stride: specStride, batch1: 1, dist2: specDist, batch2: batch}
+	return rsp, ssp, nil
+}
+
+// r2cLines transforms real lines [lo, hi) of the layout — the unit of work
+// of both the serial path and the worker pool.
+func (p *RealPlan) r2cLines(x []float64, rsp batchSpec, spec []complex128, ssp batchSpec, lo, hi int) {
+	zp := p.getScratch()
+	z := (*zp)[:p.n/2]
+	for l := lo; l < hi; l++ {
+		p.r2cLine(x, rsp.lineBase(l), rsp.stride, spec, ssp.lineBase(l), ssp.stride, z)
+	}
+	p.putScratch(zp)
+}
+
+// c2rLines reconstructs real lines [lo, hi) of the layout.
+func (p *RealPlan) c2rLines(spec []complex128, ssp batchSpec, x []float64, rsp batchSpec, lo, hi int) {
+	zp := p.getScratch()
+	z := (*zp)[:p.n/2]
+	for l := lo; l < hi; l++ {
+		p.c2rLine(spec, ssp.lineBase(l), ssp.stride, x, rsp.lineBase(l), rsp.stride, z)
+	}
+	p.putScratch(zp)
+}
+
+// r2cLine packs one strided real line into z, transforms, and unpacks the
+// half-spectrum with the post-processing twiddles.
+func (p *RealPlan) r2cLine(x []float64, xb, xs int, spec []complex128, sb, ss int, z []complex128) {
 	h := p.n / 2
-	z := make([]complex128, h)
+	// Pack pairs into a complex signal z[j] = x[2j] + i·x[2j+1].
+	if xs == 1 {
+		xl := x[xb : xb+2*h]
+		for j := 0; j < h; j++ {
+			z[j] = complex(xl[2*j], xl[2*j+1])
+		}
+	} else {
+		for j := 0; j < h; j++ {
+			z[j] = complex(x[xb+2*j*xs], x[xb+(2*j+1)*xs])
+		}
+	}
+	p.half.transformContig(z, Forward)
+	// Unpack: split Z into the spectra of the even and odd subsequences and
+	// combine with twiddles.
+	for k := 0; k <= h; k++ {
+		var zk, znk complex128
+		if k == 0 || k == h {
+			zk = z[0]
+			znk = z[0]
+		} else {
+			zk = z[k]
+			znk = z[h-k]
+		}
+		even := (zk + conj(znk)) / 2
+		odd := (zk - conj(znk)) / complex(0, 2)
+		spec[sb+k*ss] = even + p.tw[k]*odd
+	}
+}
+
+// c2rLine rebuilds the packed half-length signal from one strided spectrum
+// line, inverse-transforms it (1/N scaling fused), and scatters the real
+// samples.
+func (p *RealPlan) c2rLine(spec []complex128, sb, ss int, x []float64, xb, xs int, z []complex128) {
+	h := p.n / 2
 	for k := 0; k < h; k++ {
-		sk := spec[k]
-		snk := conj(spec[h-k])
+		sk := spec[sb+k*ss]
+		snk := conj(spec[sb+(h-k)*ss])
 		even := (sk + snk) / 2
 		odd := (sk - snk) / 2 * conj(p.tw[k])
 		z[k] = even + complex(0, 1)*odd
 	}
-	p.half.Transform(z, Inverse)
-	out := make([]float64, p.n)
-	for j := 0; j < h; j++ {
-		out[2*j] = real(z[j])
-		out[2*j+1] = imag(z[j])
+	p.half.transformContig(z, Inverse)
+	if xs == 1 {
+		xl := x[xb : xb+2*h]
+		for j := 0; j < h; j++ {
+			xl[2*j] = real(z[j])
+			xl[2*j+1] = imag(z[j])
+		}
+	} else {
+		for j := 0; j < h; j++ {
+			x[xb+2*j*xs] = real(z[j])
+			x[xb+(2*j+1)*xs] = imag(z[j])
+		}
 	}
-	return out, nil
 }
 
 func conj(c complex128) complex128 { return complex(real(c), -imag(c)) }

@@ -1,0 +1,184 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dft"
+)
+
+// Tests for the batched advanced-layout real transforms (cuFFT D2Z/Z2D
+// style): every line of a strided batch must match the complex DFT oracle
+// applied to that line, layouts are validated, and the pooled scratch keeps
+// the steady state allocation-free.
+
+func randReal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestRealForwardBatchMatchesOracle lays out `batch` real lines with
+// non-trivial strides and distances on both sides and checks each
+// half-spectrum against the complex oracle.
+func TestRealForwardBatchMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, tc := range []struct {
+		n, xStride, xDist, sStride, sDist, batch int
+	}{
+		{16, 1, 16, 1, 9, 8},    // packed rows (the r2c pencil layout)
+		{16, 2, 1, 1, 9, 4},     // interleaved real lines
+		{32, 1, 40, 2, 40, 6},   // padded rows, strided spectra
+		{12, 3, 2, 1, 7, 2},     // overlapping-looking but disjoint layout
+		{64, 1, 64, 1, 33, 100}, // batch large enough to fan out
+	} {
+		p, err := NewRealPlan(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tc.n / 2
+		xLen := (tc.batch-1)*tc.xDist + (tc.n-1)*tc.xStride + 1
+		sLen := (tc.batch-1)*tc.sDist + h*tc.sStride + 1
+		x := randReal(rng, xLen)
+		spec := make([]complex128, sLen)
+		if err := p.ForwardBatch(x, tc.xStride, tc.xDist, spec, tc.sStride, tc.sDist, tc.batch); err != nil {
+			t.Fatalf("n=%d: ForwardBatch: %v", tc.n, err)
+		}
+		for b := 0; b < tc.batch; b++ {
+			line := make([]complex128, tc.n)
+			for i := 0; i < tc.n; i++ {
+				line[i] = complex(x[b*tc.xDist+i*tc.xStride], 0)
+			}
+			want := dft.Transform(line)
+			for k := 0; k <= h; k++ {
+				got := spec[b*tc.sDist+k*tc.sStride]
+				if d := cmplx.Abs(got - want[k]); d > tol*float64(tc.n) {
+					t.Fatalf("n=%d batch line %d bin %d: got %v want %v (diff %g)", tc.n, b, k, got, want[k], d)
+				}
+			}
+		}
+	}
+}
+
+// TestRealBatchRoundTrip checks InverseBatch(ForwardBatch(x)) == x across
+// layouts, including the zBox pencil layout core/realplan uses.
+func TestRealBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, tc := range []struct {
+		n, xStride, xDist, sStride, sDist, batch int
+	}{
+		{16, 1, 16, 1, 9, 12},
+		{32, 2, 70, 1, 17, 5},
+		{128, 1, 128, 1, 65, 64},
+	} {
+		p, err := NewRealPlan(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tc.n / 2
+		xLen := (tc.batch-1)*tc.xDist + (tc.n-1)*tc.xStride + 1
+		sLen := (tc.batch-1)*tc.sDist + h*tc.sStride + 1
+		x := randReal(rng, xLen)
+		orig := append([]float64(nil), x...)
+		spec := make([]complex128, sLen)
+		if err := p.ForwardBatch(x, tc.xStride, tc.xDist, spec, tc.sStride, tc.sDist, tc.batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InverseBatch(spec, tc.sStride, tc.sDist, x, tc.xStride, tc.xDist, tc.batch); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if d := x[i] - orig[i]; d > tol*float64(tc.n) || d < -tol*float64(tc.n) {
+				t.Fatalf("n=%d: round trip diverged at %d by %g", tc.n, i, d)
+			}
+		}
+	}
+}
+
+// TestRealBatchParallelMatchesSerial pins the worker-pool fan-out of real
+// batches to the serial result, bit for bit.
+func TestRealBatchParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const n, batch = 64, 512
+	p, err := NewRealPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := n / 2
+	x := randReal(rng, n*batch)
+	specSerial := make([]complex128, (h+1)*batch)
+	specPar := make([]complex128, (h+1)*batch)
+
+	prev := SetWorkers(1)
+	if err := p.ForwardBatch(x, 1, n, specSerial, 1, h+1, batch); err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(4)
+	if err := p.ForwardBatch(x, 1, n, specPar, 1, h+1, batch); err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(prev)
+	for i := range specSerial {
+		if specSerial[i] != specPar[i] {
+			t.Fatalf("parallel R2C differs from serial at %d", i)
+		}
+	}
+}
+
+// TestRealBatchValidation rejects layouts whose strides walk outside the
+// arrays and degenerate strides.
+func TestRealBatchValidation(t *testing.T) {
+	p, err := NewRealPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	spec := make([]complex128, 9)
+	if err := p.ForwardBatch(x, 1, 16, spec, 1, 9, 2); err == nil {
+		t.Error("short real array accepted")
+	}
+	if err := p.ForwardBatch(x, 1, 16, spec[:8], 1, 9, 1); err == nil {
+		t.Error("short spectrum array accepted")
+	}
+	if err := p.ForwardBatch(x, 0, 16, spec, 1, 9, 1); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if err := p.InverseBatch(spec, 1, -1, x, 1, 16, 1); err == nil {
+		t.Error("negative dist accepted")
+	}
+	if err := p.ForwardBatch(x, 1, 16, spec, 1, 9, 0); err != nil {
+		t.Errorf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+// TestRealBatchSteadyStateAllocs: warmed batched real transforms draw all
+// scratch from pools.
+func TestRealBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under -race; allocation counts are meaningless")
+	}
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	const n, batch = 32, 8
+	p, err := NewRealPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n*batch)
+	spec := make([]complex128, (n/2+1)*batch)
+	run := func() {
+		if err := p.ForwardBatch(x, 1, n, spec, 1, n/2+1, batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InverseBatch(spec, 1, n/2+1, x, 1, n, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pools
+	if avg := testing.AllocsPerRun(50, run); avg >= 1 {
+		t.Errorf("real batch allocates %.2f times per call in steady state", avg)
+	}
+}
