@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-serve smoke-serve chaos examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-serve smoke-serve chaos examples experiments quick-experiments
 
 all: build vet test
 
@@ -40,6 +40,11 @@ bench-forward:
 bench-kernel:
 	go test -run '^$$' -bench 'BenchmarkKernel|BenchmarkStridedBatch|BenchmarkContigBatch|BenchmarkFFTBluestein' -benchmem ./internal/fft/
 	go test -run '^$$' -bench 'BenchmarkPackBlocked' -benchmem ./internal/tensor/
+
+# Virtual-time cost of the three scheduled all-to-all algorithms on a dense
+# device-resident exchange (the BENCH_PR6.json regime check).
+bench-exchange:
+	go test -run '^$$' -bench 'BenchmarkExchange' -benchtime 100x ./internal/mpisim/
 
 # Coalescing-service throughput vs one-plan-per-request under identical
 # open-loop load (the BENCH_PR2.json numbers).

@@ -1,6 +1,7 @@
 package heffte_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/cmplx"
@@ -53,6 +54,59 @@ func TestNewPlanWith(t *testing.T) {
 		}
 		if err := plan.Forward(f); !errors.Is(err, heffte.ErrPlanClosed) {
 			t.Errorf("Forward after Close: got %v, want ErrPlanClosed", err)
+		}
+	})
+}
+
+// TestFacadeCollectiveOptions: the collective-config options reach the plan,
+// CommPhases reports what each reshape resolved to, and the context-first
+// entry points run clean transforms through the facade.
+func TestFacadeCollectiveOptions(t *testing.T) {
+	w := heffte.NewWorld(heffte.Summit(), 4, heffte.WorldOptions{GPUAware: true})
+	w.Run(func(c *heffte.Comm) {
+		plan, err := heffte.NewPlanWith(c, [3]int{16, 16, 16},
+			heffte.WithDecomposition(heffte.DecompPencils),
+			heffte.WithBackend(heffte.BackendAlltoallv),
+			heffte.WithCollective(heffte.AlgoRing),
+			heffte.WithExchangeChunks(2),
+			heffte.WithOverlap(false),
+		)
+		if err != nil {
+			t.Errorf("NewPlanWith: %v", err)
+			return
+		}
+		defer plan.Close()
+		phases := plan.CommPhases()
+		if len(phases) == 0 {
+			t.Error("CommPhases is empty")
+		}
+		for _, ph := range phases {
+			if ph.GroupSize <= 1 {
+				continue
+			}
+			if ph.Algo != heffte.AlgoRing {
+				t.Errorf("phase %s: algo = %v, want ring", ph.Label, ph.Algo)
+			}
+			if ph.Chunks != 2 || ph.Overlap {
+				t.Errorf("phase %s: chunks=%d overlap=%v, want 2 serial", ph.Label, ph.Chunks, ph.Overlap)
+			}
+		}
+		f := heffte.NewField(plan.InBox())
+		f.FillRandom(int64(c.Rank() + 3))
+		orig := append([]complex128(nil), f.Data...)
+		if err := plan.ForwardCtx(context.Background(), f); err != nil {
+			t.Errorf("ForwardCtx: %v", err)
+			return
+		}
+		if err := plan.InverseCtx(context.Background(), f); err != nil {
+			t.Errorf("InverseCtx: %v", err)
+			return
+		}
+		for i := range orig {
+			if cmplx.Abs(f.Data[i]-orig[i]) > 1e-9 {
+				t.Errorf("rank %d: ctx round trip differs at %d", c.Rank(), i)
+				return
+			}
 		}
 	})
 }

@@ -55,6 +55,18 @@ type (
 	RealConfig = core.RealConfig
 	// RealField is one rank's share of a distributed real array.
 	RealField = core.RealField
+	// CollectiveAlgo selects the all-to-all schedule of the Alltoallv
+	// backend: AlgoAuto picks per reshape phase from the regime models.
+	CollectiveAlgo = core.CollAlgo
+	// CommConfig bundles the collective knobs: algorithm, chunk count, and
+	// pack/exchange/unpack overlap. Its zero value is fully automatic.
+	CommConfig = core.CommConfig
+	// OverlapMode controls whether chunked exchanges pipeline packing with
+	// the in-flight transfer.
+	OverlapMode = core.OverlapMode
+	// CommPhase reports the collective configuration one reshape phase
+	// resolved to (see Plan.CommPhases).
+	CommPhase = core.CommPhase
 )
 
 // Decompositions.
@@ -72,6 +84,22 @@ const (
 	BackendAlltoallw   = core.BackendAlltoallw
 	BackendP2P         = core.BackendP2P
 	BackendP2PBlocking = core.BackendP2PBlocking
+)
+
+// Collective all-to-all schedules (Alltoallv backend).
+const (
+	AlgoAuto     = core.CollAuto
+	AlgoLinear   = core.CollLinear
+	AlgoPairwise = core.CollPairwise
+	AlgoRing     = core.CollRing
+	AlgoBruck    = core.CollBruck
+)
+
+// Overlap modes for chunked exchanges.
+const (
+	OverlapAuto = core.OverlapAuto
+	OverlapOn   = core.OverlapOn
+	OverlapOff  = core.OverlapOff
 )
 
 // NewPlan collectively creates a plan; all ranks pass identical Config.

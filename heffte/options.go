@@ -48,6 +48,33 @@ func WithBoxes(in, out []Box3) PlanOption {
 	return func(cfg *Config) { cfg.InBoxes, cfg.OutBoxes = in, out }
 }
 
+// WithCollective forces the all-to-all schedule of every reshape phase
+// (Alltoallv backend). The default, AlgoAuto, picks per phase from the
+// closed-form regime models — see Plan.CommPhases for what was chosen.
+func WithCollective(a CollectiveAlgo) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Comm.Algo = a }
+}
+
+// WithExchangeChunks splits every reshape exchange into n chunks so packing,
+// transfer and unpacking can pipeline. 0 restores the automatic policy
+// (chunk only volume-dominated exchanges); 1 forces single-shot exchanges.
+func WithExchangeChunks(n int) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Comm.Chunks = n }
+}
+
+// WithOverlap toggles the pack/exchange/unpack pipeline of chunked
+// exchanges. Off serializes the chunks (useful to isolate the overlap's
+// contribution); on is the default whenever an exchange is chunked.
+func WithOverlap(on bool) PlanOption {
+	return func(cfg *Config) {
+		if on {
+			cfg.Opts.Comm.Overlap = OverlapOn
+		} else {
+			cfg.Opts.Comm.Overlap = OverlapOff
+		}
+	}
+}
+
 // NewPlanWith collectively creates a plan for a global grid from functional
 // options; all ranks pass identical arguments.
 func NewPlanWith(c *Comm, global [3]int, opts ...PlanOption) (*Plan, error) {

@@ -63,12 +63,16 @@ type engine struct {
 	batches    uint64
 	requests   uint64
 	virtualSec float64 // rank 0 virtual clock: total engine busy virtual time
+
+	// commPhases is the collective configuration the plan resolved to,
+	// captured on rank 0 at plan creation (identical on every rank).
+	commPhases []heffte.CommPhase
 }
 
 // newEngine starts the world and creates the plan on every rank. It returns
 // after plan creation succeeded (or failed) everywhere. A non-nil fault plan
 // arms the world with a deterministic fault schedule (chaos testing).
-func newEngine(k engineKey, m *heffte.Machine, gpuAware bool, fp *heffte.FaultPlan) (*engine, error) {
+func newEngine(k engineKey, m *heffte.Machine, gpuAware bool, comm heffte.CommConfig, fp *heffte.FaultPlan) (*engine, error) {
 	e := &engine{
 		key:     k,
 		size:    k.ranks,
@@ -99,12 +103,17 @@ func newEngine(k engineKey, m *heffte.Machine, gpuAware bool, fp *heffte.FaultPl
 			if ferr := c.Protect(func() {
 				plan, err = heffte.NewPlan(c, heffte.Config{
 					Global: k.global,
-					Opts:   heffte.Options{Decomp: k.decomp},
+					Opts:   heffte.Options{Decomp: k.decomp, Comm: comm},
 				})
 			}); ferr != nil {
 				err = ferr
 			}
 			if c.Rank() == 0 {
+				if err == nil {
+					// Written before errc is signalled, so the constructor's
+					// happens-before edge publishes it to stats readers.
+					e.commPhases = plan.CommPhases()
+				}
 				errc <- err
 			}
 			if err != nil {
@@ -198,6 +207,7 @@ func (e *engine) stats() EngineStats {
 		Batches:        e.batches,
 		Requests:       e.requests,
 		VirtualSeconds: e.virtualSec,
+		Comm:           e.commPhases,
 	}
 }
 

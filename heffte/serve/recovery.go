@@ -258,7 +258,7 @@ func (s *Server) runFresh(req *Request) error {
 		var perr error
 		ferr := c.Protect(func() {
 			var plan *heffte.Plan
-			plan, perr = heffte.NewPlan(c, heffte.Config{Global: k.global, Opts: heffte.Options{Decomp: k.decomp}})
+			plan, perr = heffte.NewPlan(c, heffte.Config{Global: k.global, Opts: heffte.Options{Decomp: k.decomp, Comm: s.cfg.Comm}})
 			if perr != nil {
 				return
 			}

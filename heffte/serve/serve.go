@@ -76,6 +76,11 @@ type Config struct {
 	// NoGPUAware disables GPU-aware MPI in the engines (mirrors heFFTe's
 	// -no-gpu-aware flag; the default is GPU-aware on).
 	NoGPUAware bool
+	// Comm configures the collective exchanges of every engine plan:
+	// all-to-all algorithm, chunk count, and pack/exchange overlap. The zero
+	// value is fully automatic; what each shape resolved to shows up in
+	// Stats (EngineStats.Comm).
+	Comm heffte.CommConfig
 
 	// Window is how long the first request of a batch waits for same-shape
 	// company (default 200µs; negative = no waiting). Batches are cut when a
@@ -176,7 +181,7 @@ func New(cfg Config) *Server {
 		if cfg.EngineFaults != nil {
 			fp = cfg.EngineFaults(k.String(), s.nextBuild(k.String()))
 		}
-		return newEngine(k, cfg.Machine, !cfg.NoGPUAware, fp)
+		return newEngine(k, cfg.Machine, !cfg.NoGPUAware, cfg.Comm, fp)
 	})
 	s.sched = sched.New[*Request](sched.Config{
 		Workers:  cfg.Workers,
@@ -258,6 +263,10 @@ type EngineStats struct {
 	// VirtualSeconds is the engine's rank-0 virtual clock: the simulated
 	// busy time it spent executing batches.
 	VirtualSeconds float64
+	// Comm reports, per reshape phase, the collective configuration this
+	// shape's plan resolved to: chosen all-to-all algorithm, chunk count,
+	// and whether the chunks pipeline pack with the in-flight exchange.
+	Comm []heffte.CommPhase
 }
 
 // Stats is a point-in-time snapshot of the server: per-shape scheduler
@@ -285,6 +294,20 @@ func (st Stats) WriteText(w io.Writer) {
 	for _, e := range st.Engines {
 		fmt.Fprintf(w, "  engine %s: %d batches, %d requests, %.3fs virtual busy\n",
 			e.Shape, e.Batches, e.Requests, e.VirtualSeconds)
+		if len(e.Comm) > 0 {
+			fmt.Fprintf(w, "    comm:")
+			for _, ph := range e.Comm {
+				fmt.Fprintf(w, " %s=%s", ph.Label, ph.Algo)
+				if ph.Chunks > 1 {
+					pipe := "serial"
+					if ph.Overlap {
+						pipe = "pipelined"
+					}
+					fmt.Fprintf(w, "/%d-chunk-%s", ph.Chunks, pipe)
+				}
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	r := st.Recovery
 	if r.Retries > 0 || r.FaultEvictions > 0 || r.BreakerTrips > 0 || r.DegradedRequests > 0 {

@@ -307,7 +307,8 @@ func TestCloseLifecycle(t *testing.T) {
 	}
 }
 
-// TestStatsText: the report names the shape and the cache.
+// TestStatsText: the report names the shape, the cache, and the collective
+// configuration each engine plan resolved to.
 func TestStatsText(t *testing.T) {
 	global := [3]int{8, 8, 8}
 	srv := New(Config{Ranks: 2, Window: -1})
@@ -318,10 +319,45 @@ func TestStatsText(t *testing.T) {
 	var b strings.Builder
 	srv.WriteStats(&b)
 	out := b.String()
-	for _, want := range []string{"8x8x8/auto/c128/r2/forward", "plan cache: 1/4", "engine 8x8x8/auto/c128/r2"} {
+	for _, want := range []string{"8x8x8/auto/c128/r2/forward", "plan cache: 1/4", "engine 8x8x8/auto/c128/r2", "comm:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("stats text missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestStatsReportCollectiveConfig: a forced collective configuration shows up
+// per engine in Stats and in the text report.
+func TestStatsReportCollectiveConfig(t *testing.T) {
+	global := [3]int{8, 8, 8}
+	srv := New(Config{Ranks: 2, Window: -1,
+		Comm: heffte.CommConfig{Algo: heffte.AlgoRing, Chunks: 2, Overlap: heffte.OverlapOn}})
+	defer srv.Close()
+	if err := srv.Submit(context.Background(), &Request{Global: global, Data: randomSignal(global, 7)}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := srv.Stats()
+	if len(st.Engines) != 1 {
+		t.Fatalf("got %d engines, want 1", len(st.Engines))
+	}
+	phases := st.Engines[0].Comm
+	if len(phases) == 0 {
+		t.Fatal("EngineStats.Comm is empty")
+	}
+	for _, ph := range phases {
+		if ph.GroupSize > 1 {
+			if ph.Algo != heffte.AlgoRing {
+				t.Errorf("phase %s: algo %v, want ring", ph.Label, ph.Algo)
+			}
+			if ph.Chunks != 2 || !ph.Overlap {
+				t.Errorf("phase %s: chunks=%d overlap=%v, want 2/true", ph.Label, ph.Chunks, ph.Overlap)
+			}
+		}
+	}
+	var b strings.Builder
+	srv.WriteStats(&b)
+	if out := b.String(); !strings.Contains(out, "ring/2-chunk-pipelined") {
+		t.Fatalf("stats text missing forced collective config:\n%s", out)
 	}
 }
 

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+)
+
+func init() {
+	register(Experiment{
+		ID: "exchange",
+		Title: "All-to-all schedule regimes: forced linear/pairwise/ring/Bruck vs the AlgoAuto " +
+			"per-phase selection, GPU-aware Summit",
+		Run: runExchangeAlgos,
+	})
+}
+
+// exchangeForward runs one Forward with a forced collective configuration and
+// returns the virtual runtime plus the per-phase resolution (rank 0's view).
+func exchangeForward(grid [3]int, ranks int, algo core.CollAlgo) (float64, []core.CommPhase, error) {
+	w := mpisim.NewWorld(machine.Summit(), ranks, mpisim.Options{GPUAware: true})
+	var phases []core.CommPhase
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := core.NewPlan(c, core.Config{Global: grid, Opts: core.Options{
+			Backend: core.BackendAlltoallv,
+			Comm:    core.CommConfig{Algo: algo},
+		}})
+		if err != nil {
+			panic(err)
+		}
+		defer p.Close()
+		if err := p.Forward(core.NewPhantom(p.InBox())); err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			phases = p.CommPhases()
+		}
+	})
+	return res.MaxClock, phases, res.Err
+}
+
+// runExchangeAlgos prints the regime table behind the AlgoAuto heuristic: at
+// small grids the overhead/latency-bound exchanges favour the log-step and
+// streamed schedules, at large grids bandwidth dominates and the streamed
+// ring (with pairwise on dense node-local rows) holds; the naive linear loop
+// trails everywhere the exchange is dense.
+func runExchangeAlgos(w io.Writer, opts RunOptions) error {
+	ranks := 64
+	grids := [][3]int{{32, 32, 32}, {64, 64, 64}, {128, 128, 128}, {256, 256, 256}}
+	if opts.Quick {
+		ranks = 24
+		grids = [][3]int{{32, 32, 32}, {64, 64, 64}}
+	}
+	algos := []core.CollAlgo{core.CollLinear, core.CollPairwise, core.CollRing, core.CollBruck}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "grid\tlinear\tpairwise\tring\tbruck\tauto\tauto vs linear\tauto picks")
+	for _, g := range grids {
+		row := fmt.Sprintf("%d³", g[0])
+		var linear float64
+		for _, a := range algos {
+			t, _, err := exchangeForward(g, ranks, a)
+			if err != nil {
+				return err
+			}
+			if a == core.CollLinear {
+				linear = t
+			}
+			row += fmt.Sprintf("\t%.1fµs", t*1e6)
+		}
+		auto, phases, err := exchangeForward(g, ranks, core.CollAuto)
+		if err != nil {
+			return err
+		}
+		picks := make([]string, 0, len(phases))
+		for _, ph := range phases {
+			if ph.GroupSize > 1 {
+				picks = append(picks, fmt.Sprintf("%s=%s", ph.Label, ph.Algo))
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.1fµs\t%.2f×\t%s\n", row, auto*1e6, linear/auto, strings.Join(picks, " "))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/model"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// This file is the plan-level half of the pluggable collective subsystem:
+// per-phase exchange statistics, the regime heuristic behind CollAuto, and
+// the chunked pack→exchange→unpack pipeline in which packing of chunk k+1
+// (and unpacking of chunk k-1) overlaps the exchange in flight.
+
+// autoChunkBytes is the per-rank send volume above which the auto policy
+// splits a *staged* reshape into pipeline chunks. Chunking only pays where
+// the pipeline hides real serial work: on the non-GPU-aware path each
+// chunk's PCIe staging overlaps the previous chunk's wire time. GPU-aware
+// exchanges have only pack kernels to hide — cheaper than the per-chunk
+// posting and launch overheads at every measured shape — so the auto policy
+// leaves them whole (chunking remains available by explicit request).
+const autoChunkBytes = 2 << 20
+
+// autoChunks is the pipeline depth the auto policy uses once chunking pays.
+const autoChunks = 4
+
+// exchStats summarizes one reshape's exchange graph across the whole group
+// — the shape quantities the regime heuristic reasons about. It is a pure
+// function of the global box lists and rank placement, so every member
+// computes (or shares) identical values and algorithm selection stays
+// deterministic without negotiation.
+type exchStats struct {
+	gs         int     // group size
+	pairs      int     // ordered (src,dst) pairs with payload, src != dst
+	totalElems int     // sum of off-diagonal pair volumes (elements)
+	maxElems   int     // largest single pair volume
+	maxRows    int     // largest axis-0 extent of a pair box (chunk bound)
+	rounds     int     // distinct nonzero cyclic offsets carrying payload
+	interFrac  float64 // fraction of pairs crossing a node boundary
+	interBW    float64 // slowest inter-node per-flow bandwidth (0 if none)
+}
+
+// computeExchStats walks the off-diagonal pair boxes of one exchange group.
+// O(group²) box intersections — memoized per world by buildReshape.
+func computeExchStats(m *machine.Model, nodes int, worldOf func(int) int, from, to []tensor.Box3, members []int) exchStats {
+	st := exchStats{gs: len(members)}
+	offsets := map[int]bool{}
+	for i, ri := range members {
+		for j, rj := range members {
+			if i == j {
+				continue
+			}
+			b := tensor.Intersect(from[ri], to[rj])
+			v := b.Volume()
+			if v == 0 {
+				continue
+			}
+			st.pairs++
+			st.totalElems += v
+			if v > st.maxElems {
+				st.maxElems = v
+			}
+			if r := b.Size(0); r > st.maxRows {
+				st.maxRows = r
+			}
+			offsets[(j-i+st.gs)%st.gs] = true
+			wi, wj := worldOf(ri), worldOf(rj)
+			if !m.SameNode(wi, wj) {
+				st.interFrac++
+				if bw := m.FlowBW(wi, wj, nodes); st.interBW == 0 || bw < st.interBW {
+					st.interBW = bw
+				}
+			}
+		}
+	}
+	st.rounds = len(offsets)
+	if st.pairs > 0 {
+		st.interFrac /= float64(st.pairs)
+	}
+	return st
+}
+
+// collAlgoOf maps a simulator schedule back to its facade-level name.
+func collAlgoOf(a mpisim.Algo) CollAlgo {
+	switch a {
+	case mpisim.AlgoPairwise:
+		return CollPairwise
+	case mpisim.AlgoRing:
+		return CollRing
+	case mpisim.AlgoBruck:
+		return CollBruck
+	}
+	return CollLinear
+}
+
+// simAlgoOf maps a forced facade algorithm to the simulator schedule.
+func simAlgoOf(a CollAlgo) mpisim.Algo {
+	switch a {
+	case CollPairwise:
+		return mpisim.AlgoPairwise
+	case CollRing:
+		return mpisim.AlgoRing
+	case CollBruck:
+		return mpisim.AlgoBruck
+	}
+	return mpisim.AlgoLinear
+}
+
+// pickAlgo evaluates the closed-form regime models over this phase's shape
+// and returns the cheapest schedule — the CollAuto policy. Deterministic
+// across ranks: everything it reads is group-global.
+func pickAlgo(g *mpisim.Comm, st exchStats, eb, batch int) mpisim.Algo {
+	m := g.Model()
+	oh := m.HostOverheadColl
+	if g.GPUAware() {
+		oh = m.DeviceOverheadColl
+	}
+	// Scheduled permutation rounds see the clean per-flow injection share;
+	// the naive linear loop sees it degraded by fabric saturation (the
+	// slowest such flow in the group, from the stats pass).
+	naiveBW := st.interBW
+	schedBW := m.NodeInjectionBW / float64(m.GPUsPerNode)
+	if naiveBW == 0 {
+		naiveBW, schedBW = m.IntraBW, m.IntraBW
+	}
+	cp := model.CollParams{
+		Overhead: oh, Inject: m.CollInject, Congestion: m.CollCongestion,
+		InterBW: schedBW, NaiveInterBW: naiveBW, IntraBW: m.IntraBW,
+		InterLat: m.InterLatency, IntraLat: m.IntraLatency,
+		MemBW: m.GPU.MemBW,
+	}
+	shape := model.AlltoallShape{
+		P:         st.gs,
+		Dst:       (st.pairs + st.gs - 1) / st.gs,
+		Rounds:    st.rounds,
+		Bytes:     float64(st.totalElems) / float64(st.pairs) * float64(eb*batch),
+		InterFrac: st.interFrac,
+	}
+	switch model.PickAlltoall(shape, cp) {
+	case model.AlltoallPairwise:
+		return mpisim.AlgoPairwise
+	case model.AlltoallRing:
+		return mpisim.AlgoRing
+	case model.AlltoallBruck:
+		return mpisim.AlgoBruck
+	}
+	return mpisim.AlgoLinear
+}
+
+// resolve turns the plan's CommConfig into the concrete (schedule, chunk
+// count, overlap) this phase runs with, given the element size and batch
+// width of the execution. Only called for ranks inside the group.
+func (rs *reshapePlan) resolve(opts Options, eb, batch int) (mpisim.Algo, int, bool) {
+	cc := opts.Comm
+	st := rs.stats
+
+	algo := simAlgoOf(cc.Algo)
+	if cc.Algo == CollAuto && st.pairs > 0 {
+		algo = pickAlgo(rs.group, st, eb, batch)
+	}
+
+	chunks := cc.Chunks
+	if chunks <= 0 {
+		chunks = 1
+		if st.pairs > 0 && !rs.group.GPUAware() {
+			perRank := float64(st.totalElems) / float64(st.gs) * float64(eb*batch)
+			if perRank >= autoChunkBytes {
+				chunks = autoChunks
+			}
+		}
+	}
+	// Chunks slice the pair boxes along axis 0; depth beyond the tallest pair
+	// box only produces empty exchanges.
+	if chunks > 1 && chunks > st.maxRows {
+		chunks = st.maxRows
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+
+	overlap := chunks > 1
+	if cc.Overlap == OverlapOff {
+		overlap = false
+	}
+	return algo, chunks, overlap
+}
+
+// chunkBox returns slice ci of n along axis 0 of pair box b. Sender and
+// receiver derive their chunks from the same intersection box, so the
+// payloads of every chunk match without negotiation.
+func chunkBox(b tensor.Box3, ci, n int) tensor.Box3 {
+	if b.Empty() {
+		return b
+	}
+	sz := b.Hi[0] - b.Lo[0]
+	out := b
+	out.Lo[0] = b.Lo[0] + ci*sz/n
+	out.Hi[0] = b.Lo[0] + (ci+1)*sz/n
+	return out
+}
+
+// CommPhase reports how one communication phase of the plan is configured:
+// the schedule the Alltoallv backend resolved (after the CollAuto
+// heuristic) and the pipeline depth of the chunked path. Exposed through
+// the facade so serving stats and tooling can observe tuning decisions.
+type CommPhase struct {
+	Label     string
+	GroupSize int // ranks in this phase's exchange group (0 = not involved)
+	Algo      CollAlgo
+	Chunks    int
+	Overlap   bool
+}
+
+// CommPhases reports the resolved per-phase communication configuration for
+// a single-field complex transform. Phases this rank does not participate
+// in report GroupSize 0.
+func (p *Plan) CommPhases() []CommPhase {
+	var out []CommPhase
+	for _, st := range p.stages {
+		if st.kind != stageReshape {
+			continue
+		}
+		rs := st.rs
+		cp := CommPhase{Label: rs.label, Algo: CollLinear, Chunks: 1}
+		if rs.group != nil {
+			cp.GroupSize = rs.group.Size()
+			if p.opts.Backend == BackendAlltoallv {
+				algo, chunks, overlap := rs.resolve(p.opts, 16, 1)
+				cp.Algo = collAlgoOf(algo)
+				cp.Chunks = chunks
+				cp.Overlap = overlap
+			}
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// runReshapeAlltoallv is the Alltoallv backend's exchange: the resolved
+// schedule in a single shot, or the chunked (optionally pipelined) variant
+// of the same exchange.
+func runReshapeAlltoallv[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool) [][]T {
+	algo, chunks, overlap := rs.resolve(ctx.opts, elemBytes[T](), len(datas))
+	if chunks <= 1 {
+		return runReshapeSingle(rs, ctx, datas, phantom, recycleIn, algo)
+	}
+	return runReshapeChunked(rs, ctx, datas, phantom, recycleIn, algo, chunks, overlap)
+}
+
+// runReshapeSingle is the unchunked Alltoallv exchange. With AlgoLinear it
+// is timing- and trace-identical to the legacy path.
+func runReshapeSingle[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool, algo mpisim.Algo) [][]T {
+	ctx.Check()
+	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	recycleDatas(datas, recycleIn)
+	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
+	recv := rs.group.AlltoallvWith(bufs, algo)
+	newData := allocNewArrays[T](rs, len(datas), phantom)
+	recvBytes := 0
+	eb := elemBytes[T]()
+	for gi := range recv {
+		vol := rs.recvs[gi].Volume()
+		if vol == 0 {
+			continue
+		}
+		recvBytes += eb * vol * len(datas)
+		if newData != nil {
+			unpackBufInto(rs, newData, gi, recv[gi])
+			recycleRecv[T](recv[gi])
+		}
+	}
+	ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
+	return newData
+}
+
+// runReshapeChunked splits the exchange into chunks of whole axis-0 rows of
+// every pair box. Without overlap each chunk runs pack→exchange→unpack
+// serially; with overlap the exchange of chunk k is posted non-blocking and
+// the pack of chunk k+1 plus the unpack of chunk k-1 execute while it is in
+// flight (double-buffered through the pooled staging buffers). The
+// simulator's injection-port gating keeps back-to-back chunk exchanges
+// honest on the wire, and each chunk passes through the fault machinery
+// independently, so kills/corruption mid-reshape surface at the failing
+// chunk with the PR 3 typed errors.
+func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool, algo mpisim.Algo, chunks int, overlap bool) [][]T {
+	g := rs.group
+	gs := g.Size()
+	eb := elemBytes[T]()
+	newData := allocNewArrays[T](rs, len(datas), phantom)
+
+	packChunk := func(ci int) ([]mpisim.Buf, int) {
+		bufs := make([]mpisim.Buf, gs)
+		total := 0
+		for gi := 0; gi < gs; gi++ {
+			cb := chunkBox(rs.sends[gi], ci, chunks)
+			vol := cb.Volume()
+			if vol == 0 {
+				bufs[gi] = mpisim.Buf{Loc: machine.Device}
+				continue
+			}
+			elems := vol * len(datas)
+			total += eb * elems
+			if phantom {
+				bufs[gi] = mkBuf[T](nil, elems)
+				continue
+			}
+			data := getBuf[T](elems)
+			off := 0
+			for _, d := range datas {
+				tensor.Pack(d, rs.from, cb, data[off:off+vol])
+				off += vol
+			}
+			bufs[gi] = mkBuf(data, 0)
+			bufs[gi].Move = true
+		}
+		if ci == chunks-1 {
+			// The inputs are fully drained once the last chunk is packed.
+			recycleDatas(datas, recycleIn)
+		}
+		return bufs, total
+	}
+	unpackChunk := func(ci int, recv []mpisim.Buf) int {
+		total := 0
+		for gi := range recv {
+			cb := chunkBox(rs.recvs[gi], ci, chunks)
+			vol := cb.Volume()
+			if vol == 0 {
+				continue
+			}
+			total += eb * vol * len(datas)
+			if newData == nil {
+				continue
+			}
+			src := bufSlice[T](recv[gi])
+			off := 0
+			for fi := range newData {
+				tensor.Unpack(newData[fi], rs.to, cb, src[off:off+vol])
+				off += vol
+			}
+			recycleRecv[T](recv[gi])
+		}
+		return total
+	}
+
+	if !overlap {
+		for ci := 0; ci < chunks; ci++ {
+			ctx.Check()
+			bufs, sb := packChunk(ci)
+			ctx.dev.Pack(sb, ctx.opts.Contiguous)
+			recv := g.AlltoallvWith(bufs, algo)
+			rb := unpackChunk(ci, recv)
+			ctx.dev.Unpack(rb, ctx.opts.Contiguous)
+		}
+		return newData
+	}
+
+	ctx.Check()
+	bufs, sb := packChunk(0)
+	ctx.dev.Pack(sb, ctx.opts.Contiguous)
+	req := g.IalltoallvWith(bufs, algo)
+	for ci := 1; ci <= chunks; ci++ {
+		var next *mpisim.CollRequest
+		if ci < chunks {
+			ctx.Check()
+			bufsN, sbN := packChunk(ci)
+			ctx.dev.Pack(sbN, ctx.opts.Contiguous)
+			next = g.IalltoallvWith(bufsN, algo)
+		}
+		recv := g.WaitColl(req)
+		rb := unpackChunk(ci-1, recv)
+		ctx.dev.Unpack(rb, ctx.opts.Contiguous)
+		req = next
+	}
+	return newData
+}

@@ -314,14 +314,17 @@ func TestGridShrinkingCorrect(t *testing.T) {
 
 func TestGridShrinkingFasterForTinyFFT(t *testing.T) {
 	// For an FFT far too small for the rank count, shrinking must reduce the
-	// virtual runtime (fewer latency-dominated messages).
+	// virtual runtime (fewer latency-dominated messages). Pinned to the
+	// legacy linear schedule: the scheduled collectives (ring/Bruck) attack
+	// the same latency-bound regime and nearly erase the gap.
 	global := [3]int{16, 16, 16}
 	size := 48
 	run := func(threshold int) float64 {
 		w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
 		res := w.Run(func(c *mpisim.Comm) {
 			p, err := NewPlan(c, Config{Global: global,
-				Opts: Options{Decomp: DecompPencils, Backend: BackendAlltoallv, ShrinkThreshold: threshold}})
+				Opts: Options{Decomp: DecompPencils, Backend: BackendAlltoallv, ShrinkThreshold: threshold,
+					Comm: CommConfig{Algo: CollLinear}}})
 			if err != nil {
 				panic(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fft"
@@ -21,6 +22,57 @@ func (p *Plan) Forward(f *Field) error {
 func (p *Plan) Inverse(f *Field) error {
 	p.one[0] = f
 	return p.execute(p.one[:], fft.Inverse)
+}
+
+// ForwardCtx is Forward with a cancellation context: the context is checked
+// at every stage and pipeline-chunk boundary, and an expired context fails
+// the execution with an error wrapping ctx.Err(). Cancellation is
+// collective — a distributed transform cannot complete once one rank stops
+// participating — so the rank observing the expired context aborts the
+// world and every other rank's execution returns the same error. Callers
+// are expected to pass equivalent contexts on all ranks, the same contract
+// as every other collective argument.
+func (p *Plan) ForwardCtx(ctx context.Context, f *Field) error {
+	p.ctx = ctx
+	defer func() { p.ctx = nil }()
+	return p.Forward(f)
+}
+
+// InverseCtx is Inverse with a cancellation context; see ForwardCtx.
+func (p *Plan) InverseCtx(ctx context.Context, f *Field) error {
+	p.ctx = ctx
+	defer func() { p.ctx = nil }()
+	return p.Inverse(f)
+}
+
+// ForwardBatchCtx is ForwardBatch with a cancellation context; see ForwardCtx.
+func (p *Plan) ForwardBatchCtx(ctx context.Context, fs []*Field) error {
+	p.ctx = ctx
+	defer func() { p.ctx = nil }()
+	return p.ForwardBatch(fs)
+}
+
+// InverseBatchCtx is InverseBatch with a cancellation context; see ForwardCtx.
+func (p *Plan) InverseBatchCtx(ctx context.Context, fs []*Field) error {
+	p.ctx = ctx
+	defer func() { p.ctx = nil }()
+	return p.InverseBatch(fs)
+}
+
+// checkCtx fails the world when the plan's attached context has expired.
+// Runs at stage and chunk boundaries on the execution path; the resulting
+// error satisfies errors.Is against ctx.Err() (context.Canceled or
+// context.DeadlineExceeded).
+func (p *Plan) checkCtx() {
+	if p.ctx == nil {
+		return
+	}
+	select {
+	case <-p.ctx.Done():
+		p.comm.Fail(fmt.Errorf("core: rank %d: execution canceled: %w",
+			p.comm.WorldRank(p.comm.Rank()), p.ctx.Err()))
+	default:
+	}
 }
 
 // ForwardBatch transforms a batch of fields through one fused plan
@@ -83,12 +135,17 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) (err error) {
 	// from arrays the previous reshape drew from the staging pool, which are
 	// recycled once packed.
 	recycle := false
+	var check func()
+	if p.ctx != nil {
+		check = p.checkCtx
+	}
 	for _, st := range p.stages {
 		p.curPhase = st.label
+		p.checkCtx()
 		switch st.kind {
 		case stageReshape:
 			t0 := p.comm.Clock()
-			st.rs.run(execCtx{dev: p.dev, opts: p.opts}, fields, recycle)
+			st.rs.run(execCtx{dev: p.dev, opts: p.opts, check: check}, fields, recycle)
 			recycle = true
 			comm := p.comm.Clock() - t0
 			if pending > comm {

@@ -87,6 +87,83 @@ func (b Backend) Collective() bool {
 	return b == BackendAlltoall || b == BackendAlltoallv || b == BackendAlltoallw
 }
 
+// CollAlgo selects the all-to-all schedule used by BackendAlltoallv
+// reshapes. See internal/mpisim for the schedules and internal/model for
+// the closed-form regime analysis behind CollAuto.
+type CollAlgo int
+
+const (
+	// CollAuto picks per reshape phase from the (rank count, message size)
+	// regime, following the paper's algorithm-selection analysis.
+	CollAuto CollAlgo = iota
+	// CollLinear forces the legacy per-destination posting schedule.
+	CollLinear
+	// CollPairwise forces the synchronized pairwise exchange.
+	CollPairwise
+	// CollRing forces the streamed ring schedule.
+	CollRing
+	// CollBruck forces the Bruck log-step schedule.
+	CollBruck
+)
+
+func (a CollAlgo) String() string {
+	switch a {
+	case CollAuto:
+		return "auto"
+	case CollLinear:
+		return "linear"
+	case CollPairwise:
+		return "pairwise"
+	case CollRing:
+		return "ring"
+	case CollBruck:
+		return "bruck"
+	}
+	return fmt.Sprintf("collalgo(%d)", int(a))
+}
+
+// OverlapMode controls whether chunked reshapes overlap packing of chunk
+// k+1 with the in-flight exchange of chunk k.
+type OverlapMode int
+
+const (
+	// OverlapAuto overlaps whenever the reshape is chunked.
+	OverlapAuto OverlapMode = iota
+	// OverlapOn forces the double-buffered pipelined path.
+	OverlapOn
+	// OverlapOff packs, exchanges and unpacks each chunk serially.
+	OverlapOff
+)
+
+func (o OverlapMode) String() string {
+	switch o {
+	case OverlapAuto:
+		return "auto"
+	case OverlapOn:
+		return "on"
+	case OverlapOff:
+		return "off"
+	}
+	return fmt.Sprintf("overlap(%d)", int(o))
+}
+
+// CommConfig tunes the communication layer of a plan: which all-to-all
+// schedule BackendAlltoallv reshapes use, how many chunks the
+// pack→exchange→unpack sequence is split into, and whether chunk packing
+// overlaps in-flight exchanges. The zero value (auto/auto/auto) follows the
+// regime heuristic and pipelines only when the exchanged volume is large
+// enough to hide the per-chunk kernel-launch and injection costs.
+type CommConfig struct {
+	// Algo selects the all-to-all schedule; CollAuto picks per phase.
+	Algo CollAlgo
+	// Chunks splits each reshape into this many pipeline chunks. Zero means
+	// auto (chunk only when per-rank volume is large enough to profit);
+	// 1 forces the single-shot path.
+	Chunks int
+	// Overlap controls pack/exchange overlap of the chunked path.
+	Overlap OverlapMode
+}
+
 // Options tunes a plan. The zero value is the paper's best general setting:
 // pencil/auto decomposition, Alltoallv, strided local FFTs.
 type Options struct {
@@ -107,4 +184,8 @@ type Options struct {
 	// is computed on a subcommunicator of fewer ranks and remapped pre/post.
 	// Zero disables shrinking.
 	ShrinkThreshold int
+
+	// Comm tunes the collective layer: all-to-all schedule, pipeline chunk
+	// count and pack/exchange overlap. The zero value is fully automatic.
+	Comm CommConfig
 }

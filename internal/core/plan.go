@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fft"
@@ -53,6 +54,9 @@ type Plan struct {
 	// curPhase is the stage label currently executing, read by recoverFault to
 	// attach phase context to fault errors. Rank-local, like the plan itself.
 	curPhase string
+	// ctx is the cancellation context of an in-flight ForwardCtx/InverseCtx
+	// call (nil otherwise); checked at stage and chunk boundaries.
+	ctx context.Context
 }
 
 type stageKind int

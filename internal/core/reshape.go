@@ -29,6 +29,10 @@ type reshapePlan struct {
 	// the target distribution; recvs[gi] the part of my `to` box that gi
 	// owns in the source distribution. Either may be empty.
 	sends, recvs []tensor.Box3
+
+	// stats is the group-global exchange shape driving collective-algorithm
+	// selection and chunking (see comm.go).
+	stats exchStats
 }
 
 // reshapeGroups is the once-per-world group analysis of a reshape: the
@@ -113,7 +117,37 @@ func buildReshape(c *mpisim.Comm, from, to []tensor.Box3, label string, tag int)
 		rs.sends[gi] = tensor.Intersect(from[me], to[r])
 		rs.recvs[gi] = tensor.Intersect(from[r], to[me])
 	}
+	// Exchange-shape statistics are O(group²) and identical for every member;
+	// memoize per world, keyed by boxes + placement (different parent comms
+	// may share box lists but map to different nodes).
+	statsKey := fmt.Sprintf("core/reshape-stats/%x/%d/%x", hashBoxes(from, to), color, hashInts(worldRanksOf(c, rs.members)))
+	rs.stats = c.World().Shared(statsKey, func() any {
+		return computeExchStats(c.Model(), c.World().Nodes(), c.WorldRank, from, to, rs.members)
+	}).(exchStats)
 	return rs
+}
+
+// worldRanksOf maps parent-comm ranks to world ranks.
+func worldRanksOf(c *mpisim.Comm, ranks []int) []int {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		out[i] = c.WorldRank(r)
+	}
+	return out
+}
+
+// hashInts is hashBoxes' flavour for rank lists.
+func hashInts(vs []int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range vs {
+		h ^= uint64(uint32(v))
+		h *= prime
+	}
+	return h
 }
 
 // hashBoxes returns an FNV-1a content hash of box lists, used as the
@@ -189,6 +223,16 @@ func (rs *reshapePlan) runReal(ctx execCtx, fields []*RealField, recycleIn bool)
 type execCtx struct {
 	dev  *gpu.Device
 	opts Options
+	// check is the context-cancellation hook of the Ctx entry points, invoked
+	// at chunk boundaries; nil means no context is attached.
+	check func()
+}
+
+// check runs the cancellation hook if one is attached.
+func (e execCtx) Check() {
+	if e.check != nil {
+		e.check()
+	}
 }
 
 // mkBuf wraps a typed slice (or a phantom element count) as a message
@@ -345,6 +389,10 @@ func allocNewArrays[T any](rs *reshapePlan, n int, phantom bool) [][]T {
 // sub-array datatypes, eliminating the pack/unpack kernels but paying the
 // naive, non-GPU-aware transport.
 func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool) [][]T {
+	// MPI_Alltoallv has the pluggable-schedule and chunked-pipeline path.
+	if ctx.opts.Backend == BackendAlltoallv {
+		return runReshapeAlltoallv(rs, ctx, datas, phantom, recycleIn)
+	}
 	useW := ctx.opts.Backend == BackendAlltoallw
 	bufs, sendBytes := packSendBufs(rs, datas, phantom)
 	recycleDatas(datas, recycleIn)
@@ -356,8 +404,6 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 	switch ctx.opts.Backend {
 	case BackendAlltoall:
 		recv = g.Alltoall(bufs)
-	case BackendAlltoallv:
-		recv = g.Alltoallv(bufs)
 	case BackendAlltoallw:
 		recv = g.Alltoallw(bufs)
 	default:

@@ -74,7 +74,24 @@ type Model struct {
 	DeviceP2PCongestion float64
 	HostOverheadColl    float64 // optimized collective path, host buffer
 	DeviceOverheadColl  float64 // optimized collective path, device buffer
-	AlltoallwOverhead   float64 // naive Alltoallw per-message setup (derived datatypes)
+	// CollInject is the per-fragment posting cost inside a scheduled
+	// collective (pairwise/ring/Bruck all-to-all): once the collective call
+	// is set up, queueing each additional fragment on the progress engine
+	// costs far less than a fresh per-destination posting (HostOverheadColl /
+	// DeviceOverheadColl), which is exactly why the scheduled algorithms beat
+	// the naive per-destination loop at moderate message counts.
+	CollInject float64
+	// CollCongestion is the fractional per-flow bandwidth loss of
+	// *unsynchronized* streamed schedules (the ring/spread all-to-all).
+	// Cyclic-distance ordering keeps the instantaneous traffic pattern
+	// near-permutation even without round barriers; only rank drift — faster
+	// ranks running ahead of slower ones, momentarily doubling up on a
+	// receiver — breaks it, shedding a couple percent of bandwidth to
+	// adaptive routing. Synchronized schedules (pairwise exchange, Bruck)
+	// barrier every round and do not pay it — which is why pairwise wins
+	// back the large-message regime. Applied to inter-node flows only.
+	CollCongestion    float64
+	AlltoallwOverhead float64 // naive Alltoallw per-message setup (derived datatypes)
 	// AlltoallwBWFactor scales the bandwidth Alltoallw messages achieve:
 	// the naive Isend/Irecv loop cannot drive the topology-aware schedules
 	// (NVLink ordering, rail binding) the optimized Alltoall(v) algorithms
@@ -131,6 +148,8 @@ func Summit() *Model {
 		DeviceP2PCongestion: 0.35e-6,
 		HostOverheadColl:    2e-6,
 		DeviceOverheadColl:  4e-6,
+		CollInject:          0.3e-6,
+		CollCongestion:      0.02,
 		AlltoallwOverhead:   25e-6,
 		AlltoallwBWFactor:   0.55,
 
@@ -173,6 +192,8 @@ func Spock() *Model {
 		DeviceP2PCongestion: 0.4e-6,
 		HostOverheadColl:    2e-6,
 		DeviceOverheadColl:  5e-6,
+		CollInject:          0.4e-6,
+		CollCongestion:      0.03,
 		AlltoallwOverhead:   25e-6,
 		AlltoallwBWFactor:   0.55,
 
@@ -218,6 +239,8 @@ func Frontier() *Model {
 		DeviceP2PCongestion: 0.3e-6,
 		HostOverheadColl:    2e-6,
 		DeviceOverheadColl:  4e-6,
+		CollInject:          0.3e-6,
+		CollCongestion:      0.02,
 		AlltoallwOverhead:   22e-6,
 		AlltoallwBWFactor:   0.55,
 

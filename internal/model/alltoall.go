@@ -1,0 +1,219 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Closed-form cost models of the all-to-all schedules implemented by
+// internal/mpisim (linear, pairwise exchange, ring streaming, Bruck
+// log-step), mirroring the simulator's accounting so the heuristic selector
+// and the tuning predictor reason about the same regimes the virtual clock
+// produces. The regime structure follows the collective-optimized-FFT
+// analysis: latency/overhead-bound exchanges (tiny blocks) want log-step
+// schedules, bandwidth-bound exchanges with many destinations want streamed
+// schedules, and very large uniform blocks want synchronized pairwise
+// rounds that keep one clean flow per rank.
+
+// AlltoallAlgo names a schedule in the closed-form model. Values parallel
+// mpisim.Algo but stay independent so this package keeps zero simulator
+// dependencies.
+type AlltoallAlgo int
+
+const (
+	AlltoallLinear AlltoallAlgo = iota
+	AlltoallPairwise
+	AlltoallRing
+	AlltoallBruck
+)
+
+func (a AlltoallAlgo) String() string {
+	switch a {
+	case AlltoallLinear:
+		return "linear"
+	case AlltoallPairwise:
+		return "pairwise"
+	case AlltoallRing:
+		return "ring"
+	case AlltoallBruck:
+		return "bruck"
+	}
+	return fmt.Sprintf("alltoall(%d)", int(a))
+}
+
+// CollParams carries the machine quantities the closed forms need. Build it
+// from a machine model with the caller's knowledge of group placement.
+type CollParams struct {
+	Overhead   float64 // per-call software setup (collective path)
+	Inject     float64 // per-fragment posting cost of scheduled collectives
+	Congestion float64 // fractional inter-node bandwidth loss of unsynchronized streams
+	// InterBW is the per-flow inter-node bandwidth a scheduled permutation
+	// round sees (the node injection share, unsaturated). NaiveInterBW is
+	// what the unscheduled linear posting loop sees — injection share
+	// degraded by the fabric saturation factor; zero means same as InterBW.
+	InterBW      float64
+	NaiveInterBW float64
+	IntraBW      float64 // per-flow intra-node bandwidth
+	InterLat     float64 // inter-node wire latency
+	IntraLat     float64 // intra-node latency
+	MemBW        float64 // device memory bandwidth (Bruck rotation copies)
+}
+
+// AlltoallShape describes one exchange as the model sees it: group size P,
+// average destinations per active rank Dst, the number of distinct cyclic
+// offsets carrying traffic Rounds (the pairwise round count — equal to P-1
+// for dense exchanges, much smaller for sparse brick↔pencil reshapes),
+// average nonzero block bytes, and the fraction of destinations that cross
+// a node boundary.
+type AlltoallShape struct {
+	P         int
+	Dst       int
+	Rounds    int
+	Bytes     float64
+	InterFrac float64
+}
+
+// norm fills defaults so partially-specified shapes behave sensibly.
+func (s AlltoallShape) norm() AlltoallShape {
+	if s.P < 1 {
+		s.P = 1
+	}
+	if s.Dst <= 0 {
+		s.Dst = s.P - 1
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = s.Dst
+	}
+	if s.InterFrac < 0 {
+		s.InterFrac = 0
+	} else if s.InterFrac > 1 {
+		s.InterFrac = 1
+	}
+	return s
+}
+
+// mixLat is the expected per-message latency over the inter/intra mix.
+func (s AlltoallShape) mixLat(cp CollParams) float64 {
+	return s.InterFrac*cp.InterLat + (1-s.InterFrac)*cp.IntraLat
+}
+
+// maxLat is the worst latency present in the mix.
+func (s AlltoallShape) maxLat(cp CollParams) float64 {
+	if s.InterFrac > 0 && cp.InterLat > cp.IntraLat {
+		return cp.InterLat
+	}
+	if s.InterFrac >= 1 {
+		return cp.InterLat
+	}
+	return cp.IntraLat
+}
+
+// LinearAlltoallTime is the per-destination posting loop: every block pays
+// the full call overhead, its serialized port time, and its wire latency.
+func LinearAlltoallTime(s AlltoallShape, cp CollParams) float64 {
+	s = s.norm()
+	if s.P <= 1 || s.Dst == 0 {
+		return 0
+	}
+	bw := cp.NaiveInterBW
+	if bw == 0 {
+		bw = cp.InterBW
+	}
+	per := cp.Overhead + s.Bytes*(s.InterFrac/bw+(1-s.InterFrac)/cp.IntraBW) + s.mixLat(cp)
+	return float64(s.Dst) * per
+}
+
+// PairwiseAlltoallTime is the synchronized pairwise exchange: one call
+// setup, then Rounds lock-step rounds each gated by the slowest pair — in a
+// mixed intra/inter group that is an inter-node pair.
+func PairwiseAlltoallTime(s AlltoallShape, cp CollParams) float64 {
+	s = s.norm()
+	if s.P <= 1 || s.Dst == 0 {
+		return 0
+	}
+	worst := s.Bytes/cp.IntraBW + cp.IntraLat
+	if s.InterFrac > 0 {
+		if t := s.Bytes/cp.InterBW + cp.InterLat; t > worst {
+			worst = t
+		}
+	}
+	return cp.Overhead + float64(s.Rounds)*(cp.Inject+worst)
+}
+
+// RingAlltoallTime is the streamed schedule: one call setup, one injection
+// cost per fragment, intra- and inter-node streams draining through their
+// distinct ports concurrently (the max term), congestion on the
+// unsynchronized inter-node flows, and latency paid once.
+func RingAlltoallTime(s AlltoallShape, cp CollParams) float64 {
+	s = s.norm()
+	if s.P <= 1 || s.Dst == 0 {
+		return 0
+	}
+	d := float64(s.Dst)
+	inter := s.InterFrac * d * s.Bytes * (1 + cp.Congestion) / cp.InterBW
+	intra := (1 - s.InterFrac) * d * s.Bytes / cp.IntraBW
+	return cp.Overhead + d*cp.Inject + math.Max(inter, intra) + s.maxLat(cp)
+}
+
+// BruckAlltoallTime is the log-step store-and-forward schedule: ⌈log2 P⌉
+// synchronized rounds, each moving the uniform-equivalent aggregate (about
+// half the routed traffic) over the worst link present, plus two local
+// rotation copies of the same bytes.
+func BruckAlltoallTime(s AlltoallShape, cp CollParams) float64 {
+	s = s.norm()
+	if s.P <= 1 || s.Dst == 0 {
+		return 0
+	}
+	// Uniform-equivalent block over the full group.
+	mbar := float64(s.Dst) * s.Bytes / float64(s.P-1)
+	bw := cp.IntraBW
+	if s.InterFrac > 0 {
+		bw = cp.InterBW
+	}
+	lat := s.maxLat(cp)
+	t := cp.Overhead
+	steps := int(math.Ceil(math.Log2(float64(s.P))))
+	for k := 0; k < steps; k++ {
+		cnt := 0
+		for d := 1; d < s.P; d++ {
+			if d&(1<<k) != 0 {
+				cnt++
+			}
+		}
+		agg := mbar * float64(cnt)
+		t += cp.Inject + lat + agg/bw + 2*agg/cp.MemBW
+	}
+	return t
+}
+
+// AlltoallTime evaluates the closed form of one schedule.
+func AlltoallTime(a AlltoallAlgo, s AlltoallShape, cp CollParams) float64 {
+	switch a {
+	case AlltoallPairwise:
+		return PairwiseAlltoallTime(s, cp)
+	case AlltoallRing:
+		return RingAlltoallTime(s, cp)
+	case AlltoallBruck:
+		return BruckAlltoallTime(s, cp)
+	default:
+		return LinearAlltoallTime(s, cp)
+	}
+}
+
+// PickAlltoall returns the schedule with the smallest predicted time for
+// the shape — the heuristic behind AlgoAuto. Ties keep the earlier entry in
+// {linear, ring, pairwise, bruck} order, so degenerate shapes (one rank, no
+// traffic) fall back to the legacy path.
+func PickAlltoall(s AlltoallShape, cp CollParams) AlltoallAlgo {
+	s = s.norm()
+	if s.P <= 1 || s.Dst == 0 || s.Bytes <= 0 {
+		return AlltoallLinear
+	}
+	best, bt := AlltoallLinear, LinearAlltoallTime(s, cp)
+	for _, a := range []AlltoallAlgo{AlltoallRing, AlltoallPairwise, AlltoallBruck} {
+		if t := AlltoallTime(a, s, cp); t < bt {
+			best, bt = a, t
+		}
+	}
+	return best
+}

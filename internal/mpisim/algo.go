@@ -1,0 +1,367 @@
+package mpisim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// Algo selects the schedule an all-to-all-v exchange uses. The numerics are
+// identical for every algorithm — the same blocks reach the same ranks — but
+// the virtual-time cost differs, because each schedule stresses a different
+// part of the machine: per-message software overhead, wire latency, or link
+// bandwidth. This mirrors the algorithm-selection study of collective-
+// optimized FFTs: no single all-to-all wins every (rank count, message size)
+// regime.
+type Algo int
+
+const (
+	// AlgoLinear is the legacy schedule: each rank posts one message per
+	// destination, paying the full per-message software overhead and wire
+	// latency for every block. It is the reference the other schedules are
+	// validated against.
+	AlgoLinear Algo = iota
+	// AlgoPairwise is the synchronized pairwise exchange: p-1 rounds, in
+	// round k rank r trades blocks with ranks r±k. One clean flow per rank
+	// per round drives the full per-flow bandwidth — the large-message
+	// algorithm of classic MPI implementations.
+	AlgoPairwise
+	// AlgoRing streams blocks to destinations in increasing cyclic distance
+	// without round barriers: the call is set up once, fragments are queued
+	// on the progress engine for a fraction of a full posting, and wire
+	// latency is paid once instead of per destination. Unsynchronized
+	// streaming pays a small fabric-congestion bandwidth penalty inter-node.
+	AlgoRing
+	// AlgoBruck is the log-step store-and-forward schedule: ⌈log2 p⌉
+	// synchronized rounds moving aggregated blocks, trading extra moved
+	// bytes (and local rotation copies) for an exponentially smaller round
+	// count — the small-message algorithm.
+	AlgoBruck
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoLinear:
+		return "linear"
+	case AlgoPairwise:
+		return "pairwise"
+	case AlgoRing:
+		return "ring"
+	case AlgoBruck:
+		return "bruck"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// Algos lists the selectable schedules.
+func Algos() []Algo { return []Algo{AlgoLinear, AlgoPairwise, AlgoRing, AlgoBruck} }
+
+// Exchange describes one all-to-all-v instance to a CollectiveAlgo: who
+// sends how many bytes to whom, where the buffers live, each rank's fault
+// degrade factor, and the earliest virtual time each rank's network activity
+// may start (after staging and after its injection port frees up).
+type Exchange struct {
+	Size   int
+	Bytes  [][]int   // [src][dst] payload bytes; the diagonal (self) is handled by the caller
+	Dev    []bool    // rank's buffers are device-resident (GPU-aware path)
+	Factor []float64 // fault degrade factor per rank (0 or 1 = healthy)
+	Start  []float64 // earliest network start per rank
+	Ranks  []int     // world rank of each exchange rank (node placement)
+	Nodes  int       // nodes spanned by the job (fabric saturation)
+	M      *machine.Model
+}
+
+// active reports whether rank r moves any off-diagonal bytes (as sender or
+// receiver). Inactive ranks leave a schedule immediately.
+func (e *Exchange) active(r int) bool {
+	for d := 0; d < e.Size; d++ {
+		if d != r && (e.Bytes[r][d] > 0 || e.Bytes[d][r] > 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// overhead is the one-time collective call setup cost on rank r.
+func (e *Exchange) overhead(r int) float64 {
+	if e.Dev[r] {
+		return e.M.DeviceOverheadColl
+	}
+	return e.M.HostOverheadColl
+}
+
+// factor returns rank r's degrade multiplier (≥ 1).
+func (e *Exchange) factor(r int) float64 {
+	if f := e.Factor[r]; f > 1 {
+		return f
+	}
+	return 1
+}
+
+// flowBW is the per-flow bandwidth a *scheduled* transfer sees between two
+// world ranks. Scheduled collectives move data in permutation rounds (every
+// link carries at most one flow at a time), which is exactly the traffic
+// pattern the fabric's adaptive routing handles without hotspots — so unlike
+// the naive linear path (machine.Model.FlowBW), they do not pay the fabric
+// saturation factor. This is the classic reason MPI libraries schedule their
+// all-to-alls at all.
+func (e *Exchange) flowBW(srcW, dstW int) float64 {
+	m := e.M
+	if m.SameNode(srcW, dstW) {
+		return m.IntraBW
+	}
+	return m.NodeInjectionBW / float64(m.GPUsPerNode)
+}
+
+// spansNodes reports whether any two exchange ranks live on different nodes.
+func (e *Exchange) spansNodes() bool {
+	for _, r := range e.Ranks[1:] {
+		if !e.M.SameNode(e.Ranks[0], r) {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectiveAlgo computes the virtual completion time of each rank's share
+// of one all-to-all-v exchange, given per-rank earliest start times. The
+// returned slice is indexed by exchange rank. Implementations model only the
+// network schedule; staging, self-copies and fault bookkeeping are handled
+// by the communicator wrapper.
+type CollectiveAlgo interface {
+	Name() string
+	// Synchronized reports whether the schedule runs in lock-step rounds:
+	// every rank's network activity then starts at the group's last entry
+	// (like a barrier), whereas unsynchronized schedules start each rank as
+	// soon as it arrives and let data dependencies — receivers waiting for
+	// actual arrivals — carry the skew instead.
+	Synchronized() bool
+	Complete(ex *Exchange) []float64
+}
+
+// algoImpl maps an Algo to its schedule; nil means the legacy linear path.
+func algoImpl(a Algo) CollectiveAlgo {
+	switch a {
+	case AlgoPairwise:
+		return pairwiseAlgo{}
+	case AlgoRing:
+		return ringAlgo{}
+	case AlgoBruck:
+		return bruckAlgo{}
+	}
+	return nil
+}
+
+// linearAlgo reproduces the legacy per-destination Alltoallv cost inside the
+// scheduled machinery. The blocking AlltoallvWith keeps the original code
+// path for AlgoLinear — timing-identical to Alltoallv — but the non-blocking
+// flavour used by the chunked pipeline runs here, where back-to-back chunks
+// gate on the injection port: otherwise two in-flight chunks would each see
+// the full wire and overlap for free, which no NIC allows. The naive loop
+// keeps the saturated FlowBW; its unscheduled traffic is exactly what the
+// fabric's adaptive routing degrades under.
+type linearAlgo struct{}
+
+func (linearAlgo) Name() string       { return "linear" }
+func (linearAlgo) Synchronized() bool { return true }
+
+func (linearAlgo) Complete(ex *Exchange) []float64 {
+	m := ex.M
+	comp := make([]float64, ex.Size)
+	for r := 0; r < ex.Size; r++ {
+		srcW := ex.Ranks[r]
+		oh := ex.overhead(r)
+		t := 0.0
+		for d := 0; d < ex.Size; d++ {
+			if d == r || ex.Bytes[r][d] == 0 {
+				continue
+			}
+			dstW := ex.Ranks[d]
+			t += oh + float64(ex.Bytes[r][d])/m.FlowBW(srcW, dstW, ex.Nodes) + m.Latency(srcW, dstW)
+		}
+		comp[r] = ex.Start[r] + t*ex.factor(r)
+	}
+	return comp
+}
+
+// pairwiseAlgo: p-1 lock-step rounds; in round k rank r sends to (r+k) mod p
+// and receives from (r-k) mod p. Every round lasts as long as its slowest
+// pair, and all active ranks leave together — the synchronization is what
+// keeps one clean, full-bandwidth flow per rank per round. Rounds in which
+// nobody has traffic cost nothing (the schedule skips them).
+type pairwiseAlgo struct{}
+
+func (pairwiseAlgo) Name() string       { return "pairwise" }
+func (pairwiseAlgo) Synchronized() bool { return true }
+
+func (pairwiseAlgo) Complete(ex *Exchange) []float64 {
+	m := ex.M
+	p := ex.Size
+	comp := make([]float64, p)
+	t := math.Inf(-1)
+	any := false
+	for r := 0; r < p; r++ {
+		comp[r] = ex.Start[r]
+		if ex.active(r) {
+			any = true
+			if s := ex.Start[r] + ex.overhead(r); s > t {
+				t = s
+			}
+		}
+	}
+	if !any || p == 1 {
+		return comp
+	}
+	for k := 1; k < p; k++ {
+		dur := 0.0
+		for r := 0; r < p; r++ {
+			dst := (r + k) % p
+			by := ex.Bytes[r][dst]
+			if by == 0 {
+				continue
+			}
+			src, dw := ex.Ranks[r], ex.Ranks[dst]
+			d := (m.CollInject + float64(by)/ex.flowBW(src, dw) + m.Latency(src, dw)) * ex.factor(r)
+			if d > dur {
+				dur = d
+			}
+		}
+		t += dur
+	}
+	for r := 0; r < p; r++ {
+		if ex.active(r) {
+			comp[r] = t
+		}
+	}
+	return comp
+}
+
+// ringAlgo: each rank streams its blocks in increasing cyclic distance. The
+// call is set up once; each fragment pays only the injection cost. Intra-node
+// (NVLink/xGMI) and inter-node (NIC) fragments drain through distinct
+// hardware ports concurrently; wire latency is paid once, by the last
+// fragment of each stream. A receiver completes when the last fragment
+// addressed to it arrives.
+type ringAlgo struct{}
+
+func (ringAlgo) Name() string       { return "ring" }
+func (ringAlgo) Synchronized() bool { return false }
+
+func (ringAlgo) Complete(ex *Exchange) []float64 {
+	m := ex.M
+	p := ex.Size
+	comp := make([]float64, p)
+	arrival := make([]float64, p)
+	for r := 0; r < p; r++ {
+		comp[r] = ex.Start[r]
+	}
+	for r := 0; r < p; r++ {
+		if !ex.active(r) {
+			continue
+		}
+		t0 := ex.Start[r] + ex.overhead(r)
+		intra, inter := t0, t0
+		f := ex.factor(r)
+		sw := ex.Ranks[r]
+		for k := 1; k < p; k++ {
+			dst := (r + k) % p
+			by := ex.Bytes[r][dst]
+			if by == 0 {
+				continue
+			}
+			dw := ex.Ranks[dst]
+			var arr float64
+			if m.SameNode(sw, dw) {
+				intra += (m.CollInject + float64(by)/m.IntraBW) * f
+				arr = intra + m.IntraLatency
+			} else {
+				bw := ex.flowBW(sw, dw) / (1 + m.CollCongestion)
+				inter += (m.CollInject + float64(by)/bw) * f
+				arr = inter + m.InterLatency
+			}
+			if arr > arrival[dst] {
+				arrival[dst] = arr
+			}
+		}
+		done := math.Max(intra, inter)
+		if done > comp[r] {
+			comp[r] = done
+		}
+	}
+	for r := 0; r < p; r++ {
+		if arrival[r] > comp[r] {
+			comp[r] = arrival[r]
+		}
+	}
+	return comp
+}
+
+// bruckAlgo: ⌈log2 p⌉ synchronized store-and-forward rounds. In round k a
+// rank forwards every block whose remaining cyclic distance has bit k set —
+// about half the traffic it routes — so small-message exchanges trade
+// bandwidth (each byte moves ~log2(p)/2 times, plus local rotation copies)
+// for an exponentially smaller latency/overhead bill. Costs use the
+// uniform-equivalent block size; non-uniform exchanges are routed exactly
+// the same way, just accounted at the average.
+type bruckAlgo struct{}
+
+func (bruckAlgo) Name() string       { return "bruck" }
+func (bruckAlgo) Synchronized() bool { return true }
+
+func (bruckAlgo) Complete(ex *Exchange) []float64 {
+	m := ex.M
+	p := ex.Size
+	comp := make([]float64, p)
+	t := math.Inf(-1)
+	anyActive := false
+	total := 0
+	fmax := 1.0
+	for r := 0; r < p; r++ {
+		comp[r] = ex.Start[r]
+		if !ex.active(r) {
+			continue
+		}
+		anyActive = true
+		if s := ex.Start[r] + ex.overhead(r); s > t {
+			t = s
+		}
+		if f := ex.factor(r); f > fmax {
+			fmax = f
+		}
+		for d := 0; d < p; d++ {
+			if d != r {
+				total += ex.Bytes[r][d]
+			}
+		}
+	}
+	if !anyActive || p == 1 {
+		return comp
+	}
+	mbar := float64(total) / float64(p*(p-1))
+	// Worst link present in the group gates each synchronized round.
+	bw, lat := m.IntraBW, m.IntraLatency
+	if ex.spansNodes() {
+		bw = m.NodeInjectionBW / float64(m.GPUsPerNode)
+		if m.InterLatency > lat {
+			lat = m.InterLatency
+		}
+	}
+	steps := int(math.Ceil(math.Log2(float64(p))))
+	for k := 0; k < steps; k++ {
+		cnt := 0
+		for d := 1; d < p; d++ {
+			if d&(1<<k) != 0 {
+				cnt++
+			}
+		}
+		s := mbar * float64(cnt)
+		t += (m.CollInject + lat + s/bw + 2*s/m.GPU.MemBW) * fmax
+	}
+	for r := 0; r < p; r++ {
+		if ex.active(r) {
+			comp[r] = t
+		}
+	}
+	return comp
+}

@@ -29,6 +29,10 @@ type collIn struct {
 	send  []Buf
 	val   float64
 	buf   Buf
+	// port snapshots the rank's injection-port busy-until time; the
+	// scheduled all-to-all algorithms gate their network start on it so
+	// back-to-back chunked exchanges serialize honestly on the wire.
+	port float64
 	// Fault-injection effects of the contributing rank for this exchange:
 	// factor scales its communication time (degraded links), lost marks its
 	// outgoing blocks as dropped in transit.
@@ -37,10 +41,13 @@ type collIn struct {
 }
 
 type collOut struct {
-	clock     float64
-	recv      []Buf
-	val       float64
-	buf       Buf
+	clock float64
+	recv  []Buf
+	val   float64
+	buf   Buf
+	// port is the new injection-port busy-until time of the receiving rank
+	// (scheduled all-to-all algorithms only; zero otherwise).
+	port      float64
 	splitCore *commCore
 	splitRank int
 }
@@ -479,6 +486,176 @@ func (c *Comm) alltoall(send []Buf, kind alltoallKind) []Buf {
 		}
 	}
 	return out.recv
+}
+
+// AlltoallvWith exchanges exact per-pair sizes like Alltoallv, but scheduled
+// by the selected algorithm (pairwise exchange, ring streaming, or Bruck
+// log-step). The received bytes are identical for every algorithm; only the
+// virtual-time cost differs. AlgoLinear takes the legacy per-destination
+// path and is timing-identical to Alltoallv. Scheduled exchanges also
+// serialize through each rank's injection port, so chunked back-to-back
+// exchanges pipeline honestly instead of overlapping for free.
+func (c *Comm) AlltoallvWith(send []Buf, a Algo) []Buf {
+	impl := algoImpl(a)
+	if impl == nil {
+		return c.alltoall(send, kindAlltoallv)
+	}
+	st := c.state()
+	start := st.clock
+	out, bytes := c.schedExchange(send, impl, "MPI_Alltoallv")
+	if out.port > st.portFreeAt {
+		st.portFreeAt = out.port
+	}
+	st.clock = c.collClock("MPI_Alltoallv", start, out.clock)
+	c.record("MPI_Alltoallv", start, st.clock, bytes)
+	c.checkCorrupt(out.recv, "MPI_Alltoallv")
+	return out.recv
+}
+
+// IalltoallvWith posts a non-blocking algorithm-scheduled all-to-all-v: the
+// caller pays only the posting overhead now and the remaining exchange time
+// at WaitColl, where it overlaps whatever local work ran in between (the
+// chunked pipelined reshape packs the next chunk there).
+func (c *Comm) IalltoallvWith(send []Buf, a Algo) *CollRequest {
+	impl := algoImpl(a)
+	if impl == nil {
+		// AlgoLinear runs its per-destination cost through the scheduled
+		// machinery here (unlike the blocking call): chunked pipelines post
+		// these back to back, and only the injection-port gate keeps two
+		// in-flight chunks from overlapping on the wire for free.
+		impl = linearAlgo{}
+	}
+	st := c.state()
+	start := st.clock
+	out, bytes := c.schedExchange(send, impl, "MPI_Ialltoallv")
+	if out.port > st.portFreeAt {
+		st.portFreeAt = out.port
+	}
+	st.clock += c.Model().HostOverheadColl
+	c.record("MPI_Ialltoallv", start, st.clock, bytes)
+	return &CollRequest{comm: c, postedAt: start, completeAt: out.clock, recv: out.recv, bytes: bytes, waitName: "MPI_Alltoallv"}
+}
+
+// schedExchange runs the rendezvous and cost computation shared by the
+// algorithm-scheduled Alltoallv flavours. The wrapper handles everything the
+// schedule itself does not model: PCIe staging for non-GPU-aware device
+// buffers, the self block's device copy, injection-port gating, and the
+// fault effects (degrade factors travel to the schedule, dropped blocks push
+// receivers' completions to +Inf exactly like the legacy path).
+func (c *Comm) schedExchange(send []Buf, impl CollectiveAlgo, opName string) (collOut, int) {
+	size := c.Size()
+	if len(send) != size {
+		panic(fmt.Sprintf("mpisim: %s send slice has %d entries for size-%d comm", opName, len(send), size))
+	}
+	st := c.state()
+	w := c.core.world
+	m := c.Model()
+
+	eff := c.faultEnter(opName)
+	in := collIn{clock: st.clock, port: st.portFreeAt, send: make([]Buf, size), lost: eff.Drop}
+	if eff.Factor > 1 {
+		in.factor = eff.Factor
+	}
+	total := 0
+	for i, b := range send {
+		in.send[i] = b.clone()
+		if eff.Corrupt && i != c.rank {
+			in.send[i].Corrupt = true
+		}
+		total += b.Bytes()
+	}
+	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
+		// Synchronized schedules (lock-step rounds) gate every rank on the
+		// group's last entry; unsynchronized ones start each rank at its own
+		// arrival and let receiver-side data dependencies carry the skew.
+		t0 := math.Inf(-1)
+		if impl.Synchronized() {
+			t0 = maxClock(ins)
+		}
+		ex := &Exchange{
+			Size:   size,
+			Bytes:  make([][]int, size),
+			Dev:    make([]bool, size),
+			Factor: make([]float64, size),
+			Start:  make([]float64, size),
+			Ranks:  make([]int, size),
+			Nodes:  w.nodes,
+			M:      m,
+		}
+		for r := range ins {
+			ex.Ranks[r] = c.WorldRank(r)
+			ex.Factor[r] = ins[r].factor
+			row := make([]int, size)
+			dev := false
+			var totalSend, totalRecv int
+			for d, b := range ins[r].send {
+				if b.Loc == machine.Device {
+					dev = true
+				}
+				row[d] = b.Bytes()
+				totalSend += b.Bytes()
+			}
+			for s := range ins {
+				totalRecv += ins[s].send[r].Bytes()
+			}
+			ex.Bytes[r] = row
+			// Bulk staging of non-GPU-aware device buffers precedes the
+			// network schedule, same accounting as the legacy path.
+			stage := 0.0
+			staged := dev && !w.opts.GPUAware
+			if staged {
+				stage = 2*m.StagingOverhead +
+					(1-m.StagingOverlap)*(float64(totalSend)/m.PCIeBW+float64(totalRecv)/m.PCIeBW)
+			}
+			ex.Dev[r] = dev && !staged
+			// Staging copies ride PCIe, not the NIC: they start at local
+			// arrival and overlap whatever transfer still occupies the
+			// injection port — which is how a chunked pipeline hides the
+			// host↔device hops of chunk k+1 under the wire time of chunk k.
+			ex.Start[r] = math.Max(math.Max(t0, ins[r].clock+stage), ins[r].port)
+		}
+		comp := impl.Complete(ex)
+		outs := make([]collOut, size)
+		for r := range ins {
+			t := comp[r]
+			if by := ins[r].send[r].Bytes(); by > 0 {
+				f := ins[r].factor
+				if f < 1 {
+					f = 1
+				}
+				t += float64(by) * 2 / m.GPU.MemBW * f
+			}
+			recv := make([]Buf, size)
+			for s := range ins {
+				recv[s] = ins[s].send[r]
+			}
+			outs[r] = collOut{clock: t, recv: recv, port: comp[r]}
+		}
+		for r := range ins {
+			if !ins[r].lost {
+				continue
+			}
+			for dst := 0; dst < size; dst++ {
+				if dst == r || ins[r].send[dst].Bytes() == 0 {
+					continue
+				}
+				outs[dst].clock = math.Inf(1)
+			}
+		}
+		return outs
+	})
+	return out, total
+}
+
+// checkCorrupt raises ErrMessageCorrupt for any off-diagonal received block
+// marked corrupted in transit (modeling transport checksums).
+func (c *Comm) checkCorrupt(recv []Buf, op string) {
+	for s, b := range recv {
+		if b.Corrupt && s != c.rank {
+			c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: %s block from rank %d failed verification",
+				ErrMessageCorrupt, c.WorldRank(c.rank), op, c.WorldRank(s)))
+		}
+	}
 }
 
 // Split partitions the communicator like MPI_Comm_split: ranks with the same

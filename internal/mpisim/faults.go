@@ -88,6 +88,14 @@ func (c *Comm) Protect(f func()) (err error) {
 	return nil
 }
 
+// Fail aborts the world with err from application code — the cancellation
+// hook behind the context-first plan API: a rank observing an expired
+// context fails the collective program instead of leaving its peers blocked
+// in exchanges that can never complete. The calling rank unwinds with a
+// fault panic wrapping err (convert with Protect / FaultFrom); every other
+// rank observes the same error.
+func (c *Comm) Fail(err error) { c.raiseFault(err) }
+
 // raiseFault aborts the world with err and unwinds the calling rank. Every
 // other rank blocked in a send, receive or collective wakes and observes the
 // same error (via Protect / FaultFrom).

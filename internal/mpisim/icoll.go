@@ -19,6 +19,11 @@ type CollRequest struct {
 	recv       []Buf
 	done       bool
 	bytes      int
+	// waitName is the trace name of the completing wait. The legacy async
+	// pipeline records "MPI_Wait(coll)"; the algorithm-scheduled chunked
+	// exchanges record "MPI_Alltoallv", so per-call breakdowns attribute the
+	// communication time to the collective regardless of pipelining.
+	waitName string
 }
 
 // Ialltoallv posts a non-blocking all-to-all-v. The exchange is scheduled
@@ -139,7 +144,11 @@ func (c *Comm) WaitColl(r *CollRequest) []Buf {
 		st.clock = end
 	}
 	r.done = true
-	c.record("MPI_Wait(coll)", start, st.clock, r.bytes)
+	name := r.waitName
+	if name == "" {
+		name = "MPI_Wait(coll)"
+	}
+	c.record(name, start, st.clock, r.bytes)
 	for s, b := range r.recv {
 		if b.Corrupt && s != c.rank {
 			c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: Ialltoallv block from rank %d failed verification",

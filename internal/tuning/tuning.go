@@ -24,6 +24,10 @@ type Candidate struct {
 	// Shrink, when non-zero, enables FFT grid shrinking with the given
 	// per-rank element threshold.
 	Shrink int
+	// Algo selects the all-to-all schedule of the Alltoallv backend
+	// (CollAuto lets each reshape phase pick from the regime models).
+	// Ignored by the other backends.
+	Algo core.CollAlgo
 }
 
 func (c Candidate) String() string {
@@ -33,6 +37,9 @@ func (c Candidate) String() string {
 	}
 	if c.Shrink > 0 {
 		s += "+shrink"
+	}
+	if c.Backend == core.BackendAlltoallv && c.Algo != core.CollAuto {
+		s += "+" + c.Algo.String()
 	}
 	return s
 }
@@ -46,7 +53,10 @@ type Result struct {
 }
 
 // DefaultCandidates returns the sweep the paper tunes over: both
-// decompositions, all exchange flavours of Table I, both data layouts.
+// decompositions, all exchange flavours of Table I, both data layouts — and,
+// for the Alltoallv backend, each of the selectable collective schedules
+// (auto plus the three forced algorithms), since algorithm choice is part of
+// the tuning space of a collective-optimized FFT.
 func DefaultCandidates() []Candidate {
 	var out []Candidate
 	for _, d := range []core.Decomposition{core.DecompSlabs, core.DecompPencils} {
@@ -54,8 +64,14 @@ func DefaultCandidates() []Candidate {
 			core.BackendAlltoall, core.BackendAlltoallv, core.BackendAlltoallw,
 			core.BackendP2P, core.BackendP2PBlocking,
 		} {
+			algos := []core.CollAlgo{core.CollAuto}
+			if b == core.BackendAlltoallv {
+				algos = append(algos, core.CollPairwise, core.CollRing, core.CollBruck)
+			}
 			for _, contig := range []bool{false, true} {
-				out = append(out, Candidate{Decomp: d, Backend: b, Contiguous: contig})
+				for _, a := range algos {
+					out = append(out, Candidate{Decomp: d, Backend: b, Contiguous: contig, Algo: a})
+				}
 			}
 		}
 	}
@@ -64,20 +80,80 @@ func DefaultCandidates() []Candidate {
 
 // Predict evaluates the bandwidth model for a candidate on the given
 // machine/job geometry, returning the estimated communication time of one
-// transform. Only the decomposition matters to the closed-form model; the
-// backend is differentiated by measurement.
+// transform. The decomposition selects the closed-form model; a forced
+// collective schedule on the Alltoallv backend scales the estimate by that
+// schedule's closed-form cost relative to the cheapest one on a
+// representative pencil-row exchange, so deliberately mismatched algorithms
+// (Bruck on bandwidth-bound shapes, pairwise on sparse ones) rank — and get
+// measured — after the promising ones. Other backends are differentiated by
+// measurement.
 func Predict(c *mpisim.Comm, global [3]int, cand Candidate) float64 {
 	m := c.Model()
 	params := model.Params{Latency: m.InterLatency, Bandwidth: m.NodeInjectionBW}
 	n := global[0] * global[1] * global[2]
 	pi := c.Size()
 	pg, qg := squareGrid(pi)
+	var t float64
 	switch cand.Decomp {
 	case core.DecompSlabs:
-		return model.SlabTime(n, pi, params)
+		t = model.SlabTime(n, pi, params)
 	default:
-		return model.PencilTime(n, pg, qg, params)
+		t = model.PencilTime(n, pg, qg, params)
 	}
+	if cand.Backend == core.BackendAlltoallv && cand.Algo != core.CollAuto {
+		gs := qg
+		if pg > gs {
+			gs = pg
+		}
+		t *= algoFactor(c, n, gs, cand.Algo)
+	}
+	return t
+}
+
+// algoFactor is the closed-form cost of a forced schedule relative to the
+// cheapest schedule on a dense group-of-gs pencil-row exchange of the given
+// problem (≥ 1; 1 for the schedule AlgoAuto would pick).
+func algoFactor(c *mpisim.Comm, n, gs int, algo core.CollAlgo) float64 {
+	if gs <= 1 {
+		return 1
+	}
+	m := c.Model()
+	oh := m.HostOverheadColl
+	if c.GPUAware() {
+		oh = m.DeviceOverheadColl
+	}
+	schedBW := m.NodeInjectionBW / float64(m.GPUsPerNode)
+	cp := model.CollParams{
+		Overhead: oh, Inject: m.CollInject, Congestion: m.CollCongestion,
+		InterBW: schedBW, NaiveInterBW: schedBW * m.SaturationFactor(c.World().Nodes()),
+		IntraBW: m.IntraBW, InterLat: m.InterLatency, IntraLat: m.IntraLatency,
+		MemBW: m.GPU.MemBW,
+	}
+	interFrac := 1 - float64(m.GPUsPerNode)/float64(gs)
+	if interFrac < 0 {
+		interFrac = 0
+	}
+	shape := model.AlltoallShape{
+		P: gs, Dst: gs - 1, Rounds: gs - 1,
+		Bytes:     16 * float64(n) / float64(c.Size()*gs),
+		InterFrac: interFrac,
+	}
+	var ma model.AlltoallAlgo
+	switch algo {
+	case core.CollPairwise:
+		ma = model.AlltoallPairwise
+	case core.CollRing:
+		ma = model.AlltoallRing
+	case core.CollBruck:
+		ma = model.AlltoallBruck
+	default:
+		ma = model.AlltoallLinear
+	}
+	best := model.AlltoallTime(model.PickAlltoall(shape, cp), shape, cp)
+	if best <= 0 {
+		return 1
+	}
+	return model.AlltoallTime(ma, shape, cp) / best
 }
 
 func squareGrid(pi int) (int, int) {
@@ -164,6 +240,7 @@ func measure(c *mpisim.Comm, cfg core.Config, cand Candidate, opts Options) (flo
 	planCfg.Opts.Backend = cand.Backend
 	planCfg.Opts.Contiguous = cand.Contiguous
 	planCfg.Opts.ShrinkThreshold = cand.Shrink
+	planCfg.Opts.Comm.Algo = cand.Algo
 	p, err := core.NewPlan(c, planCfg)
 	if err != nil {
 		return 0, err

@@ -10,8 +10,10 @@ import (
 
 func TestDefaultCandidatesCoverTheSweep(t *testing.T) {
 	cands := DefaultCandidates()
-	if len(cands) != 2*5*2 {
-		t.Fatalf("got %d candidates, want 20", len(cands))
+	// 2 decompositions × 2 layouts × (4 non-Alltoallv backends + Alltoallv
+	// in each of auto/pairwise/ring/bruck).
+	if len(cands) != 2*2*(4+4) {
+		t.Fatalf("got %d candidates, want 32", len(cands))
 	}
 	seen := map[string]bool{}
 	for _, c := range cands {
