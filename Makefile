@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-serve smoke-serve chaos examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-serve smoke-serve chaos examples experiments quick-experiments
 
 all: build vet test
 
@@ -45,6 +45,13 @@ bench-kernel:
 # device-resident exchange (the BENCH_PR6.json regime check).
 bench-exchange:
 	go test -run '^$$' -bench 'BenchmarkExchange' -benchtime 100x ./internal/mpisim/
+
+# Topology-layer gate: the node-aware two-level all-to-all must route bits
+# identically to the linear baseline under round-robin placement, and must
+# not lose to the strongest flat schedule on an inter-node-dominated shape
+# (the BENCH_PR7.json regime check). Used by CI.
+bench-topo:
+	go test -run 'TestTopoSmoke' -count=1 -v ./internal/bench/
 
 # Coalescing-service throughput vs one-plan-per-request under identical
 # open-loop load (the BENCH_PR2.json numbers).

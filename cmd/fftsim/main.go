@@ -31,10 +31,21 @@ func main() {
 		batch      = flag.Int("batch", 1, "transforms per batched call")
 		iters      = flag.Int("iters", 8, "timed transforms (half forward, half backward)")
 		traceOut   = flag.String("trace", "", "write the virtual timeline as Chrome trace-event JSON to this file")
+		algo       = flag.String("algo", "auto", "alltoallv schedule: auto|linear|pairwise|ring|bruck|node-aware")
+		placement  = flag.String("placement", "block", "rank→GPU placement: block|round-robin")
 	)
 	flag.Parse()
 
 	opts, err := parseOptions(*decomp, *backend, *contiguous, *shrink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftsim:", err)
+		os.Exit(2)
+	}
+	if opts.Comm.Algo, err = parseAlgo(*algo); err != nil {
+		fmt.Fprintln(os.Stderr, "fftsim:", err)
+		os.Exit(2)
+	}
+	place, err := parsePlacement(*placement)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fftsim:", err)
 		os.Exit(2)
@@ -45,11 +56,12 @@ func main() {
 	}
 
 	tr := heffte.NewTracer()
-	w := heffte.NewWorld(mdl, *ranks, heffte.WorldOptions{GPUAware: !*noAware, Tracer: tr})
+	w := heffte.NewWorld(mdl, *ranks, heffte.WorldOptions{GPUAware: !*noAware, Tracer: tr, Placement: place})
 	global := [3]int{*n, *n, *n}
 	var perFFT float64
 	var resolved heffte.Decomposition
 	var exchanges int
+	var phases []heffte.CommPhase
 	w.Run(func(c *heffte.Comm) {
 		p, err := heffte.NewPlan(c, heffte.Config{Global: global, Opts: opts})
 		if err != nil {
@@ -81,12 +93,26 @@ func main() {
 			perFFT = (c.Clock() - t0) / float64(*iters)
 			resolved = p.Decomp()
 			exchanges = p.Exchanges()
+			phases = p.CommPhases()
 		}
 	})
 
 	fmt.Printf("machine=%s ranks=%d nodes=%d transform=%d³ decomp=%v backend=%v gpu-aware=%v batch=%d\n",
 		mdl.Name, *ranks, mdl.Nodes(*ranks), *n, resolved, opts.Backend, !*noAware, *batch)
 	fmt.Printf("exchanges per transform: %d\n", exchanges)
+	if opts.Backend == heffte.BackendAlltoallv && len(phases) > 0 {
+		fmt.Printf("comm:")
+		for _, ph := range phases {
+			if ph.GroupSize == 0 {
+				continue
+			}
+			fmt.Printf(" %s=%s", ph.Label, ph.Algo)
+			if ph.Schedule != "" && ph.Schedule != "flat" {
+				fmt.Printf("[%s]", ph.Schedule)
+			}
+		}
+		fmt.Println()
+	}
 	fmt.Printf("time per transform: %s  (%.1f GFLOP/s aggregate)\n",
 		heffte.FormatSeconds(perFFT), heffte.Gflops(heffte.FFTFlops(*n**n**n)*float64(*batch), perFFT*float64(*batch)))
 
@@ -141,4 +167,32 @@ func parseOptions(decomp, backend string, contiguous bool, shrink int) (heffte.O
 		return o, fmt.Errorf("unknown backend %q", backend)
 	}
 	return o, nil
+}
+
+func parseAlgo(algo string) (heffte.CollectiveAlgo, error) {
+	switch algo {
+	case "auto":
+		return heffte.AlgoAuto, nil
+	case "linear":
+		return heffte.AlgoLinear, nil
+	case "pairwise":
+		return heffte.AlgoPairwise, nil
+	case "ring":
+		return heffte.AlgoRing, nil
+	case "bruck":
+		return heffte.AlgoBruck, nil
+	case "node-aware":
+		return heffte.AlgoNodeAware, nil
+	}
+	return heffte.AlgoAuto, fmt.Errorf("unknown collective algorithm %q", algo)
+}
+
+func parsePlacement(p string) (heffte.Placement, error) {
+	switch p {
+	case "block", "":
+		return heffte.PlaceBlock(), nil
+	case "round-robin":
+		return heffte.PlaceRoundRobin(), nil
+	}
+	return heffte.Placement{}, fmt.Errorf("unknown placement %q", p)
 }

@@ -19,6 +19,15 @@
 // Every rank is a goroutine; data moves for real (numerics are exact) while
 // time advances on a virtual clock calibrated to Summit/Spock, so performance
 // experiments at paper scale (thousands of GPUs) run on a laptop.
+//
+// The machine is hierarchical, and the library knows it: NewWorldWith
+// accepts a rank→GPU placement map (WithPlacement: block, round-robin, or an
+// explicit permutation) and an optional switch-level fabric model
+// (WithTopology), both of which the cost model and the AlgoNodeAware
+// two-level all-to-all — gather to a per-node leader over NVLink, aggregated
+// leader exchange over the wire, scatter on arrival — exploit. Plan.CommPhases
+// reports the schedule each reshape phase resolved to, including the
+// two-level node layout.
 package heffte
 
 import (
@@ -27,6 +36,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpisim"
 	"repro/internal/tensor"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -93,6 +103,10 @@ const (
 	AlgoPairwise = core.CollPairwise
 	AlgoRing     = core.CollRing
 	AlgoBruck    = core.CollBruck
+	// AlgoNodeAware is the hierarchical two-level schedule: per-node NVLink
+	// gather to a leader, aggregated leader↔leader inter-node rounds, per-node
+	// scatter. AlgoAuto considers it automatically on multi-node groups.
+	AlgoNodeAware = core.CollNodeAware
 )
 
 // Overlap modes for chunked exchanges.
@@ -210,3 +224,63 @@ func NewWorld(m *Machine, size int, opts WorldOptions) *World {
 
 // NewTracer returns an empty event tracer to pass in WorldOptions.
 func NewTracer() *Tracer { return trace.New() }
+
+// Topology layer (internal/topo): rank→GPU placement maps and explicit
+// fabric models. A World always resolves a topology — block placement over
+// the machine's nodes by default; these types let jobs opt into other
+// layouts and structural switch-level contention.
+type (
+	// Placement maps ranks onto GPU slots; its zero value is block placement.
+	Placement = topo.Placement
+	// Fabric describes an explicit switch hierarchy above the nodes.
+	Fabric = topo.Fabric
+	// Topology is a world's resolved fabric view (Comm.Topo / World.Topo).
+	Topology = topo.System
+)
+
+// Placement constructors: consecutive ranks fill nodes (block, the layout of
+// every paper experiment), deal across nodes (round-robin), or follow an
+// explicit rank→GPU-slot permutation.
+func PlaceBlock() Placement                   { return topo.Block() }
+func PlaceRoundRobin() Placement              { return topo.RoundRobin() }
+func PlacePermutation(slotOf []int) Placement { return topo.Permutation(slotOf) }
+
+// WorldOption is a functional option for NewWorldWith.
+type WorldOption func(*WorldOptions)
+
+// WithPlacement selects the rank→GPU placement map.
+func WithPlacement(p Placement) WorldOption {
+	return func(o *WorldOptions) { o.Placement = p }
+}
+
+// WithTopology attaches an explicit fabric: shared-link contention is then
+// computed structurally from concurrent flows instead of the machine model's
+// phenomenological saturation factor.
+func WithTopology(f Fabric) WorldOption {
+	return func(o *WorldOptions) { o.Fabric = &f }
+}
+
+// WithGPUAware toggles GPU-aware MPI transfers.
+func WithGPUAware(on bool) WorldOption {
+	return func(o *WorldOptions) { o.GPUAware = on }
+}
+
+// WithTracer records per-call virtual-time events into tr.
+func WithTracer(tr *Tracer) WorldOption {
+	return func(o *WorldOptions) { o.Tracer = tr }
+}
+
+// WithFaults injects a seeded fault schedule.
+func WithFaults(fp *FaultPlan) WorldOption {
+	return func(o *WorldOptions) { o.Faults = fp }
+}
+
+// NewWorldWith creates a simulated job configured by functional options —
+// the option-first flavour of NewWorld.
+func NewWorldWith(m *Machine, size int, opts ...WorldOption) *World {
+	var wo WorldOptions
+	for _, opt := range opts {
+		opt(&wo)
+	}
+	return mpisim.NewWorld(m, size, wo)
+}

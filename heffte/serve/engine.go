@@ -69,10 +69,22 @@ type engine struct {
 	commPhases []heffte.CommPhase
 }
 
+// engineWorldOpts assembles the world options every engine of a server runs
+// with: GPU-awareness, an optional fault schedule, and the server's placement
+// map / fabric model.
+func engineWorldOpts(cfg Config, fp *heffte.FaultPlan) heffte.WorldOptions {
+	wo := heffte.WorldOptions{GPUAware: !cfg.NoGPUAware, Faults: fp, Placement: cfg.Placement}
+	if cfg.Fabric != nil {
+		f := *cfg.Fabric
+		wo.Fabric = &f
+	}
+	return wo
+}
+
 // newEngine starts the world and creates the plan on every rank. It returns
 // after plan creation succeeded (or failed) everywhere. A non-nil fault plan
 // arms the world with a deterministic fault schedule (chaos testing).
-func newEngine(k engineKey, m *heffte.Machine, gpuAware bool, comm heffte.CommConfig, fp *heffte.FaultPlan) (*engine, error) {
+func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig) (*engine, error) {
 	e := &engine{
 		key:     k,
 		size:    k.ranks,
@@ -90,7 +102,7 @@ func newEngine(k engineKey, m *heffte.Machine, gpuAware bool, comm heffte.CommCo
 		}
 		return set
 	}
-	w := heffte.NewWorld(m, k.ranks, heffte.WorldOptions{GPUAware: gpuAware, Faults: fp})
+	w := heffte.NewWorld(m, k.ranks, wo)
 	e.world = w
 	errc := make(chan error, 1)
 	go func() {

@@ -81,6 +81,11 @@ type Config struct {
 	// value is fully automatic; what each shape resolved to shows up in
 	// Stats (EngineStats.Comm).
 	Comm heffte.CommConfig
+	// Placement maps engine ranks onto GPU slots (default block placement).
+	Placement heffte.Placement
+	// Fabric, when non-nil, attaches an explicit switch hierarchy to every
+	// engine world (structural contention instead of the saturation factor).
+	Fabric *heffte.Fabric
 
 	// Window is how long the first request of a batch waits for same-shape
 	// company (default 200µs; negative = no waiting). Batches are cut when a
@@ -181,7 +186,7 @@ func New(cfg Config) *Server {
 		if cfg.EngineFaults != nil {
 			fp = cfg.EngineFaults(k.String(), s.nextBuild(k.String()))
 		}
-		return newEngine(k, cfg.Machine, !cfg.NoGPUAware, cfg.Comm, fp)
+		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp), cfg.Comm)
 	})
 	s.sched = sched.New[*Request](sched.Config{
 		Workers:  cfg.Workers,
@@ -298,6 +303,9 @@ func (st Stats) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "    comm:")
 			for _, ph := range e.Comm {
 				fmt.Fprintf(w, " %s=%s", ph.Label, ph.Algo)
+				if ph.Schedule != "" && ph.Schedule != "flat" {
+					fmt.Fprintf(w, "[%s]", ph.Schedule)
+				}
 				if ph.Chunks > 1 {
 					pipe := "serial"
 					if ph.Overlap {

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/topo"
+)
+
+func init() {
+	register(Experiment{
+		ID: "placement",
+		Title: "Topology regimes: block vs round-robin placement, best flat schedule vs the " +
+			"node-aware two-level all-to-all, Summit/Spock/Frontier",
+		Run: runPlacement,
+	})
+}
+
+// flatAlgos are the single-level schedules the node-aware one competes with.
+var flatAlgos = []core.CollAlgo{core.CollLinear, core.CollPairwise, core.CollRing, core.CollBruck}
+
+// placementForward runs one Forward under a placement map and returns the
+// virtual runtime.
+func placementForward(m *machine.Model, grid [3]int, ranks int, algo core.CollAlgo, place topo.Placement) (float64, error) {
+	w := mpisim.NewWorld(m, ranks, mpisim.Options{GPUAware: true, Placement: place})
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := core.NewPlan(c, core.Config{Global: grid, Opts: core.Options{
+			Backend: core.BackendAlltoallv,
+			Comm:    core.CommConfig{Algo: algo},
+		}})
+		if err != nil {
+			panic(err)
+		}
+		defer p.Close()
+		if err := p.Forward(core.NewPhantom(p.InBox())); err != nil {
+			panic(err)
+		}
+	})
+	return res.MaxClock, res.Err
+}
+
+// runPlacement prints the placement × schedule regime table: for each machine
+// and grid, the best flat schedule and the node-aware two-level one under
+// block and round-robin placement. Round-robin dealing spreads consecutive
+// ranks across nodes, turning the library's mostly-intra-node pencil rows
+// into inter-node exchanges — the regime where aggregating each node's
+// traffic into one leader flow pays most.
+func runPlacement(w io.Writer, opts RunOptions) error {
+	machines := []*machine.Model{machine.Summit(), machine.Spock(), machine.Frontier()}
+	grids := [][3]int{{32, 32, 32}, {128, 128, 128}, {256, 256, 256}}
+	nodes := 8
+	if opts.Quick {
+		machines = machines[:1]
+		grids = grids[:2]
+		nodes = 4
+	}
+	placements := []struct {
+		name string
+		p    topo.Placement
+	}{
+		{"block", topo.Block()},
+		{"round-robin", topo.RoundRobin()},
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "machine\tgrid\tplacement\tbest flat\tnode-aware\tspeedup")
+	for _, m := range machines {
+		ranks := nodes * m.GPUsPerNode
+		for _, g := range grids {
+			for _, pl := range placements {
+				bestFlat := 0.0
+				bestName := ""
+				for _, a := range flatAlgos {
+					t, err := placementForward(m, g, ranks, a, pl.p)
+					if err != nil {
+						return err
+					}
+					if bestFlat == 0 || t < bestFlat {
+						bestFlat, bestName = t, a.String()
+					}
+				}
+				na, err := placementForward(m, g, ranks, core.CollNodeAware, pl.p)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(tw, "%s\t%d³\t%s\t%.1fµs (%s)\t%.1fµs\t%.2f×\n",
+					m.Name, g[0], pl.name, bestFlat*1e6, bestName, na*1e6, bestFlat/na)
+			}
+		}
+	}
+	return tw.Flush()
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/machine"
 	"repro/internal/model"
 	"repro/internal/mpisim"
 	"repro/internal/tensor"
+	"repro/internal/topo"
 )
 
 // This file is the plan-level half of the pluggable collective subsystem:
@@ -37,13 +40,29 @@ type exchStats struct {
 	maxRows    int     // largest axis-0 extent of a pair box (chunk bound)
 	rounds     int     // distinct nonzero cyclic offsets carrying payload
 	interFrac  float64 // fraction of pairs crossing a node boundary
-	interBW    float64 // slowest inter-node per-flow bandwidth (0 if none)
+	interBW    float64 // slowest naive inter-node per-flow bandwidth (0 if none)
+	nodes      int     // distinct nodes the group occupies
+	maxPerNode int     // largest per-node member count
+	schedBW    float64 // slowest scheduled (clean-share) inter-node flow (0 if none)
+	leaderBW   float64 // slowest aggregated leader flow of the two-level schedule
 }
 
 // computeExchStats walks the off-diagonal pair boxes of one exchange group.
-// O(group²) box intersections — memoized per world by buildReshape.
-func computeExchStats(m *machine.Model, nodes int, worldOf func(int) int, from, to []tensor.Box3, members []int) exchStats {
+// O(group²) box intersections — memoized per world by buildReshape. Link
+// bandwidths come from the world's resolved topology, so placement maps and
+// explicit fabrics feed straight into algorithm selection.
+func computeExchStats(sys *topo.System, worldOf func(int) int, from, to []tensor.Box3, members []int) exchStats {
 	st := exchStats{gs: len(members)}
+	perNode := map[int]int{}
+	for _, r := range members {
+		perNode[sys.Node(worldOf(r))]++
+	}
+	st.nodes = len(perNode)
+	for _, c := range perNode {
+		if c > st.maxPerNode {
+			st.maxPerNode = c
+		}
+	}
 	offsets := map[int]bool{}
 	for i, ri := range members {
 		for j, rj := range members {
@@ -65,10 +84,17 @@ func computeExchStats(m *machine.Model, nodes int, worldOf func(int) int, from, 
 			}
 			offsets[(j-i+st.gs)%st.gs] = true
 			wi, wj := worldOf(ri), worldOf(rj)
-			if !m.SameNode(wi, wj) {
+			if !sys.SameNode(wi, wj) {
 				st.interFrac++
-				if bw := m.FlowBW(wi, wj, nodes); st.interBW == 0 || bw < st.interBW {
+				if bw := sys.NaiveFlowBW(wi, wj); st.interBW == 0 || bw < st.interBW {
 					st.interBW = bw
+				}
+				if bw := sys.SchedFlowBW(wi, wj); st.schedBW == 0 || bw < st.schedBW {
+					st.schedBW = bw
+				}
+				ni, nj := sys.Node(wi), sys.Node(wj)
+				if bw := sys.LeaderBW(ni, nj, perNode[ni]); st.leaderBW == 0 || bw < st.leaderBW {
+					st.leaderBW = bw
 				}
 			}
 		}
@@ -89,6 +115,8 @@ func collAlgoOf(a mpisim.Algo) CollAlgo {
 		return CollRing
 	case mpisim.AlgoBruck:
 		return CollBruck
+	case mpisim.AlgoNodeAware:
+		return CollNodeAware
 	}
 	return CollLinear
 }
@@ -102,6 +130,8 @@ func simAlgoOf(a CollAlgo) mpisim.Algo {
 		return mpisim.AlgoRing
 	case CollBruck:
 		return mpisim.AlgoBruck
+	case CollNodeAware:
+		return mpisim.AlgoNodeAware
 	}
 	return mpisim.AlgoLinear
 }
@@ -119,7 +149,7 @@ func pickAlgo(g *mpisim.Comm, st exchStats, eb, batch int) mpisim.Algo {
 	// the naive linear loop sees it degraded by fabric saturation (the
 	// slowest such flow in the group, from the stats pass).
 	naiveBW := st.interBW
-	schedBW := m.NodeInjectionBW / float64(m.GPUsPerNode)
+	schedBW := st.schedBW
 	if naiveBW == 0 {
 		naiveBW, schedBW = m.IntraBW, m.IntraBW
 	}
@@ -127,7 +157,8 @@ func pickAlgo(g *mpisim.Comm, st exchStats, eb, batch int) mpisim.Algo {
 		Overhead: oh, Inject: m.CollInject, Congestion: m.CollCongestion,
 		InterBW: schedBW, NaiveInterBW: naiveBW, IntraBW: m.IntraBW,
 		InterLat: m.InterLatency, IntraLat: m.IntraLatency,
-		MemBW: m.GPU.MemBW,
+		MemBW:    m.GPU.MemBW,
+		LeaderBW: st.leaderBW, Pipeline: float64(m.CollPipeline),
 	}
 	shape := model.AlltoallShape{
 		P:         st.gs,
@@ -135,6 +166,8 @@ func pickAlgo(g *mpisim.Comm, st exchStats, eb, batch int) mpisim.Algo {
 		Rounds:    st.rounds,
 		Bytes:     float64(st.totalElems) / float64(st.pairs) * float64(eb*batch),
 		InterFrac: st.interFrac,
+		Nodes:     st.nodes,
+		PerNode:   st.maxPerNode,
 	}
 	switch model.PickAlltoall(shape, cp) {
 	case model.AlltoallPairwise:
@@ -143,6 +176,8 @@ func pickAlgo(g *mpisim.Comm, st exchStats, eb, batch int) mpisim.Algo {
 		return mpisim.AlgoRing
 	case model.AlltoallBruck:
 		return mpisim.AlgoBruck
+	case model.AlltoallNodeAware:
+		return mpisim.AlgoNodeAware
 	}
 	return mpisim.AlgoLinear
 }
@@ -209,6 +244,10 @@ type CommPhase struct {
 	Algo      CollAlgo
 	Chunks    int
 	Overlap   bool
+	// Schedule describes the level structure the resolved algorithm runs:
+	// "2-level(N nodes × ≤g ranks)" for the hierarchical schedule, "flat"
+	// for single-level ones. Empty when this rank is not in the group.
+	Schedule string
 }
 
 // CommPhases reports the resolved per-phase communication configuration for
@@ -224,11 +263,17 @@ func (p *Plan) CommPhases() []CommPhase {
 		cp := CommPhase{Label: rs.label, Algo: CollLinear, Chunks: 1}
 		if rs.group != nil {
 			cp.GroupSize = rs.group.Size()
+			cp.Schedule = "flat"
 			if p.opts.Backend == BackendAlltoallv {
 				algo, chunks, overlap := rs.resolve(p.opts, 16, 1)
 				cp.Algo = collAlgoOf(algo)
 				cp.Chunks = chunks
 				cp.Overlap = overlap
+				// Flat groups degenerate to single-level streaming even when
+				// the node-aware schedule is forced.
+				if algo == mpisim.AlgoNodeAware && rs.stats.nodes > 1 {
+					cp.Schedule = fmt.Sprintf("2-level(%d nodes × ≤%d ranks)", rs.stats.nodes, rs.stats.maxPerNode)
+				}
 			}
 		}
 		out = append(out, cp)

@@ -47,7 +47,7 @@ func TestCollectiveAlgosBitIdentical(t *testing.T) {
 	const size, seed = 8, 41
 	base := Options{Decomp: DecompPencils, Backend: BackendAlltoallv, Comm: CommConfig{Algo: CollLinear}}
 	want := runForwardGather(t, global, size, base, seed)
-	for _, algo := range []CollAlgo{CollAuto, CollPairwise, CollRing, CollBruck} {
+	for _, algo := range []CollAlgo{CollAuto, CollPairwise, CollRing, CollBruck, CollNodeAware} {
 		opts := base
 		opts.Comm.Algo = algo
 		got := runForwardGather(t, global, size, opts, seed)

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+	"repro/internal/topo"
+)
+
+// rowColBoxes builds a dense p×p exchange: rank i holds row i and wants
+// column i of a p×p×1 grid, so every ordered pair carries exactly one
+// element.
+func rowColBoxes(p int) (from, to []tensor.Box3) {
+	from = make([]tensor.Box3, p)
+	to = make([]tensor.Box3, p)
+	for i := 0; i < p; i++ {
+		from[i] = tensor.Box3{Lo: [3]int{i, 0, 0}, Hi: [3]int{i + 1, p, 1}}
+		to[i] = tensor.Box3{Lo: [3]int{0, i, 0}, Hi: [3]int{p, i + 1, 1}}
+	}
+	return from, to
+}
+
+// TestComputeExchStatsTopology: the stats pass must report the group's node
+// footprint and the topology-derived link bandwidths exactly — these numbers
+// are what CollAuto's closed forms consume.
+func TestComputeExchStatsTopology(t *testing.T) {
+	m := machine.Summit() // 6 GPUs per node
+	const p = 12          // two full nodes
+	sys := topo.Default(m, p)
+	from, to := rowColBoxes(p)
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	st := computeExchStats(sys, func(r int) int { return r }, from, to, members)
+
+	if st.gs != p || st.pairs != p*(p-1) || st.totalElems != p*(p-1) {
+		t.Fatalf("gs=%d pairs=%d total=%d, want 12/132/132", st.gs, st.pairs, st.totalElems)
+	}
+	if st.maxElems != 1 || st.maxRows != 1 || st.rounds != p-1 {
+		t.Errorf("maxElems=%d maxRows=%d rounds=%d, want 1/1/11", st.maxElems, st.maxRows, st.rounds)
+	}
+	if st.nodes != 2 || st.maxPerNode != 6 {
+		t.Errorf("nodes=%d maxPerNode=%d, want 2/6", st.nodes, st.maxPerNode)
+	}
+	wantInter := float64(2*6*6) / float64(p*(p-1))
+	if st.interFrac != wantInter {
+		t.Errorf("interFrac=%v, want %v", st.interFrac, wantInter)
+	}
+	if want := sys.SchedFlowBW(0, 6); st.schedBW != want {
+		t.Errorf("schedBW=%v, want %v", st.schedBW, want)
+	}
+	if want := sys.NaiveFlowBW(0, 6); st.interBW != want {
+		t.Errorf("interBW=%v, want %v", st.interBW, want)
+	}
+	if want := sys.LeaderBW(0, 1, 6); st.leaderBW != want {
+		t.Errorf("leaderBW=%v, want %v", st.leaderBW, want)
+	}
+}
+
+// TestComputeExchStatsIntraOnly: a group confined to one node must report no
+// inter-node links at all.
+func TestComputeExchStatsIntraOnly(t *testing.T) {
+	m := machine.Summit()
+	sys := topo.Default(m, 6)
+	from, to := rowColBoxes(6)
+	members := []int{0, 1, 2, 3, 4, 5}
+	st := computeExchStats(sys, func(r int) int { return r }, from, to, members)
+	if st.nodes != 1 || st.maxPerNode != 6 {
+		t.Errorf("nodes=%d maxPerNode=%d, want 1/6", st.nodes, st.maxPerNode)
+	}
+	if st.interFrac != 0 || st.interBW != 0 || st.schedBW != 0 || st.leaderBW != 0 {
+		t.Errorf("intra-only group leaked inter-node stats: %+v", st)
+	}
+}
+
+// TestCommPhasesIntrospection: CommPhases must expose the resolved schedule
+// of every reshape — including the two-level description when the node-aware
+// schedule is forced on a multi-node group.
+func TestCommPhasesIntrospection(t *testing.T) {
+	const size = 12 // two Summit nodes
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: [3]int{16, 16, 16}, Opts: Options{
+			Decomp: DecompPencils, Backend: BackendAlltoallv,
+			Comm: CommConfig{Algo: CollNodeAware},
+		}})
+		if err != nil {
+			panic(err)
+		}
+		defer p.Close()
+		phases := p.CommPhases()
+		if len(phases) == 0 {
+			panic("CommPhases is empty")
+		}
+		sawMultiNode := false
+		for _, ph := range phases {
+			if ph.Label == "" {
+				panic("phase without label")
+			}
+			if ph.GroupSize == 0 {
+				continue
+			}
+			if ph.Algo != CollNodeAware {
+				panic("forced algo not reported: " + ph.Algo.String())
+			}
+			if ph.Chunks < 1 {
+				panic("phase without chunk count")
+			}
+			switch {
+			case strings.HasPrefix(ph.Schedule, "2-level("):
+				sawMultiNode = true
+			case ph.Schedule != "flat":
+				panic("unexpected schedule: " + ph.Schedule)
+			}
+		}
+		if c.Rank() == 0 && !sawMultiNode {
+			panic("no phase reported a 2-level schedule on a 2-node world")
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// TestCommPhasesAutoResolves: with CollAuto the report must contain the
+// concrete schedule the heuristic picked, never "auto".
+func TestCommPhasesAutoResolves(t *testing.T) {
+	const size = 12
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: [3]int{32, 32, 32}, Opts: Options{
+			Decomp: DecompPencils, Backend: BackendAlltoallv,
+		}})
+		if err != nil {
+			panic(err)
+		}
+		defer p.Close()
+		for _, ph := range p.CommPhases() {
+			if ph.GroupSize > 0 && ph.Algo == CollAuto {
+				panic("CommPhases leaked unresolved CollAuto")
+			}
+		}
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}

@@ -104,6 +104,10 @@ const (
 	CollRing
 	// CollBruck forces the Bruck log-step schedule.
 	CollBruck
+	// CollNodeAware forces the hierarchical two-level schedule: per-node
+	// NVLink gather to a leader, aggregated leader↔leader inter-node rounds,
+	// per-node scatter. See internal/mpisim's nodeAwareAlgo.
+	CollNodeAware
 )
 
 func (a CollAlgo) String() string {
@@ -118,6 +122,8 @@ func (a CollAlgo) String() string {
 		return "ring"
 	case CollBruck:
 		return "bruck"
+	case CollNodeAware:
+		return "node-aware"
 	}
 	return fmt.Sprintf("collalgo(%d)", int(a))
 }

@@ -122,7 +122,7 @@ func buildReshape(c *mpisim.Comm, from, to []tensor.Box3, label string, tag int)
 	// may share box lists but map to different nodes).
 	statsKey := fmt.Sprintf("core/reshape-stats/%x/%d/%x", hashBoxes(from, to), color, hashInts(worldRanksOf(c, rs.members)))
 	rs.stats = c.World().Shared(statsKey, func() any {
-		return computeExchStats(c.Model(), c.World().Nodes(), c.WorldRank, from, to, rs.members)
+		return computeExchStats(c.Topo(), c.WorldRank, from, to, rs.members)
 	}).(exchStats)
 	return rs
 }

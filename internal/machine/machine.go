@@ -81,6 +81,12 @@ type Model struct {
 	// DeviceOverheadColl), which is exactly why the scheduled algorithms beat
 	// the naive per-destination loop at moderate message counts.
 	CollInject float64
+	// CollPipeline is the fragment pipeline depth of hierarchical (two-level)
+	// collectives: each aggregated per-node round is cut into this many
+	// fragments, so the NVLink gather/scatter hops stream under the wire
+	// transfer cut-through style and only about one fragment per side stays
+	// exposed. 0 or 1 means store-and-forward rounds (whole slices exposed).
+	CollPipeline int
 	// CollCongestion is the fractional per-flow bandwidth loss of
 	// *unsynchronized* streamed schedules (the ring/spread all-to-all).
 	// Cyclic-distance ordering keeps the instantaneous traffic pattern
@@ -149,6 +155,7 @@ func Summit() *Model {
 		HostOverheadColl:    2e-6,
 		DeviceOverheadColl:  4e-6,
 		CollInject:          0.3e-6,
+		CollPipeline:        4,
 		CollCongestion:      0.02,
 		AlltoallwOverhead:   25e-6,
 		AlltoallwBWFactor:   0.55,
@@ -193,6 +200,7 @@ func Spock() *Model {
 		HostOverheadColl:    2e-6,
 		DeviceOverheadColl:  5e-6,
 		CollInject:          0.4e-6,
+		CollPipeline:        4,
 		CollCongestion:      0.03,
 		AlltoallwOverhead:   25e-6,
 		AlltoallwBWFactor:   0.55,
@@ -240,6 +248,7 @@ func Frontier() *Model {
 		HostOverheadColl:    2e-6,
 		DeviceOverheadColl:  4e-6,
 		CollInject:          0.3e-6,
+		CollPipeline:        4,
 		CollCongestion:      0.02,
 		AlltoallwOverhead:   22e-6,
 		AlltoallwBWFactor:   0.55,
@@ -314,15 +323,32 @@ func (m *Model) SaturationFactor(nodes int) float64 {
 	return 1 / (1 + math.Pow(x, m.SaturationExp))
 }
 
-// FlowBW returns the per-flow bandwidth between two ranks in a job spanning
-// `nodes` nodes. Intra-node flows use the NVLink/xGMI bandwidth; inter-node
-// flows share the node injection bandwidth among the node's ranks and are
-// degraded by the saturation factor.
-func (m *Model) FlowBW(src, dst, nodes int) float64 {
+// Residents reports how many ranks of a job of the given size live on the
+// given node under block placement: GPUsPerNode on full nodes, fewer on a
+// ragged last node or when the whole job fits inside one node.
+func (m *Model) Residents(node, size int) int {
+	r := size - node*m.GPUsPerNode
+	if r > m.GPUsPerNode {
+		r = m.GPUsPerNode
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// FlowBW returns the per-flow bandwidth between two ranks in a job of the
+// given size (block placement). Intra-node flows use the NVLink/xGMI
+// bandwidth; inter-node flows share the sending node's injection bandwidth
+// among its *actual* resident ranks — a ragged last node or a sub-node job
+// leaves each rank a larger share — and are degraded by the saturation
+// factor. Placement-aware callers should route through topo.System instead.
+func (m *Model) FlowBW(src, dst, size int) float64 {
 	if m.SameNode(src, dst) {
 		return m.IntraBW
 	}
-	return m.NodeInjectionBW / float64(m.GPUsPerNode) * m.SaturationFactor(nodes)
+	share := m.NodeInjectionBW / float64(m.Residents(m.Node(src), size))
+	return share * m.SaturationFactor(m.Nodes(size))
 }
 
 // Latency returns the wire latency between two ranks.
@@ -349,12 +375,38 @@ func (c PathCost) Total() float64 {
 	return c.PostOverhead + c.PreStage + c.PortTime + c.Latency + c.PostStage + c.RecvOverhead
 }
 
+// Path is a resolved route between two ranks: whether it stays on-node, the
+// per-flow bandwidth the message is charged port time at, and the wire
+// latency. The topology layer (internal/topo) resolves paths under arbitrary
+// placements and fabrics; PathBetween resolves the legacy block layout.
+type Path struct {
+	SameNode bool
+	BW       float64
+	Latency  float64
+}
+
+// PathBetween resolves the naive-traffic path between two ranks of a job of
+// the given size under block placement.
+func (m *Model) PathBetween(src, dst, size int) Path {
+	return Path{
+		SameNode: m.SameNode(src, dst),
+		BW:       m.FlowBW(src, dst, size),
+		Latency:  m.Latency(src, dst),
+	}
+}
+
 // MsgCost computes the cost decomposition for one message of the given size
-// between two ranks. dev says the buffers are device-resident; aware says the
-// MPI stack may use GPU-aware transfers (the heFFTe -no-gpu-aware flag turns
-// this off). nodes is the number of nodes spanned by the communicator's job,
-// used for the saturation factor.
-func (m *Model) MsgCost(bytes int, src, dst, nodes int, dev, aware bool, class MsgClass) PathCost {
+// between two ranks of a job of `size` ranks under block placement. dev says
+// the buffers are device-resident; aware says the MPI stack may use
+// GPU-aware transfers (the heFFTe -no-gpu-aware flag turns this off).
+func (m *Model) MsgCost(bytes int, src, dst, size int, dev, aware bool, class MsgClass) PathCost {
+	return m.MsgCostOn(bytes, m.PathBetween(src, dst, size), m.Nodes(size), dev, aware, class)
+}
+
+// MsgCostOn computes the cost decomposition for one message over an already
+// resolved path. nodes is the number of nodes the job spans (the GPU-aware
+// P2P congestion term scales with it).
+func (m *Model) MsgCostOn(bytes int, p Path, nodes int, dev, aware bool, class MsgClass) PathCost {
 	var c PathCost
 	b := float64(bytes)
 
@@ -384,12 +436,12 @@ func (m *Model) MsgCost(bytes int, src, dst, nodes int, dev, aware bool, class M
 		c.PreStage = m.StagingOverhead + b/m.PCIeBW
 		c.PostStage = m.StagingOverhead + b/m.PCIeBW
 	}
-	bw := m.FlowBW(src, dst, nodes)
+	bw := p.BW
 	if class == ClassAlltoallw && m.AlltoallwBWFactor > 0 {
 		bw *= m.AlltoallwBWFactor
 	}
 	c.PortTime = b / bw
-	c.Latency = m.Latency(src, dst)
+	c.Latency = p.Latency
 	return c
 }
 

@@ -61,24 +61,70 @@ func TestSaturationMonotone(t *testing.T) {
 
 func TestFlowBW(t *testing.T) {
 	m := Summit()
-	if bw := m.FlowBW(0, 1, 1); bw != m.IntraBW {
+	if bw := m.FlowBW(0, 1, 12); bw != m.IntraBW {
 		t.Errorf("intra-node flow bw = %g", bw)
 	}
-	inter := m.FlowBW(0, 6, 2)
+	inter := m.FlowBW(0, 6, 12)
 	if inter >= m.NodeInjectionBW/float64(m.GPUsPerNode) {
 		t.Errorf("inter-node flow bw %g not reduced by sharing+saturation", inter)
 	}
 	// More nodes → lower per-flow inter bandwidth.
-	if m.FlowBW(0, 6, 128) >= m.FlowBW(0, 6, 2) {
+	if m.FlowBW(0, 6, 768) >= m.FlowBW(0, 6, 12) {
 		t.Error("saturation did not reduce inter-node bandwidth")
+	}
+}
+
+func TestResidents(t *testing.T) {
+	m := Summit() // 6 GPUs/node
+	if m.Residents(0, 12) != 6 || m.Residents(1, 12) != 6 {
+		t.Error("full nodes should host GPUsPerNode ranks")
+	}
+	if m.Residents(1, 8) != 2 {
+		t.Errorf("ragged last node of size 8 hosts %d ranks, want 2", m.Residents(1, 8))
+	}
+	if m.Residents(0, 3) != 3 {
+		t.Errorf("sub-node job: %d residents, want 3", m.Residents(0, 3))
+	}
+}
+
+// TestFlowBWRaggedNode verifies the residents-aware sharing: ranks on a
+// partially occupied node split the injection bandwidth fewer ways.
+func TestFlowBWRaggedNode(t *testing.T) {
+	m := Summit()
+	full := m.FlowBW(0, 6, 12)  // sender on a full node (6 residents)
+	ragged := m.FlowBW(6, 0, 8) // sender on the ragged node (2 residents)
+	if ragged <= full {
+		t.Errorf("ragged-node sender bw %g should exceed full-node %g", ragged, full)
+	}
+	want := m.NodeInjectionBW / 2 * m.SaturationFactor(2)
+	if math.Abs(ragged-want)/want > 1e-12 {
+		t.Errorf("ragged sender bw = %g, want %g", ragged, want)
+	}
+}
+
+// TestMsgCostOnMatchesMsgCost pins the wrapper relationship: MsgCost is
+// MsgCostOn over the block-placement path.
+func TestMsgCostOnMatchesMsgCost(t *testing.T) {
+	m := Summit()
+	for _, dev := range []bool{false, true} {
+		for _, aware := range []bool{false, true} {
+			for _, class := range []MsgClass{ClassP2P, ClassCollective, ClassAlltoallw} {
+				got := m.MsgCostOn(1<<20, m.PathBetween(0, 7, 24), m.Nodes(24), dev, aware, class)
+				want := m.MsgCost(1<<20, 0, 7, 24, dev, aware, class)
+				if got != want {
+					t.Errorf("MsgCostOn mismatch dev=%v aware=%v class=%d: %+v vs %+v",
+						dev, aware, class, got, want)
+				}
+			}
+		}
 	}
 }
 
 func TestMsgCostStagingOnlyWhenNotAware(t *testing.T) {
 	m := Summit()
-	aware := m.MsgCost(1<<20, 0, 6, 2, true, true, ClassP2P)
-	unaware := m.MsgCost(1<<20, 0, 6, 2, true, false, ClassP2P)
-	host := m.MsgCost(1<<20, 0, 6, 2, false, true, ClassP2P)
+	aware := m.MsgCost(1<<20, 0, 6, 12, true, true, ClassP2P)
+	unaware := m.MsgCost(1<<20, 0, 6, 12, true, false, ClassP2P)
+	host := m.MsgCost(1<<20, 0, 6, 12, false, true, ClassP2P)
 	if aware.PreStage != 0 || aware.PostStage != 0 {
 		t.Error("GPU-aware transfer should not stage")
 	}
@@ -100,25 +146,25 @@ func TestMsgCostStagingOnlyWhenNotAware(t *testing.T) {
 func TestGPUAwareCrossover(t *testing.T) {
 	m := Summit()
 	big := 4 << 20
-	if m.MsgCost(big, 0, 6, 2, true, true, ClassP2P).Total() >=
-		m.MsgCost(big, 0, 6, 2, true, false, ClassP2P).Total() {
+	if m.MsgCost(big, 0, 6, 12, true, true, ClassP2P).Total() >=
+		m.MsgCost(big, 0, 6, 12, true, false, ClassP2P).Total() {
 		t.Error("GPU-aware should win for 4 MiB messages")
 	}
 	small := 1 << 10
-	if m.MsgCost(small, 0, 6, 2, true, true, ClassP2P).Total() <=
-		m.MsgCost(small, 0, 6, 2, true, false, ClassP2P).Total() {
+	if m.MsgCost(small, 0, 6, 12, true, true, ClassP2P).Total() <=
+		m.MsgCost(small, 0, 6, 12, true, false, ClassP2P).Total() {
 		t.Error("host staging should win for 1 KiB messages")
 	}
 }
 
 func TestAlltoallwNeverGPUAwareOnSummit(t *testing.T) {
 	m := Summit()
-	c := m.MsgCost(1<<20, 0, 6, 2, true, true, ClassAlltoallw)
+	c := m.MsgCost(1<<20, 0, 6, 12, true, true, ClassAlltoallw)
 	if c.PreStage == 0 {
 		t.Error("SpectrumMPI-like Alltoallw must stage device buffers even when GPU-awareness is on")
 	}
 	s := Spock()
-	c = s.MsgCost(1<<20, 0, 4, 2, true, true, ClassAlltoallw)
+	c = s.MsgCost(1<<20, 0, 4, 8, true, true, ClassAlltoallw)
 	if c.PreStage != 0 {
 		t.Error("MVAPICH-like Alltoallw should be GPU-aware on Spock")
 	}
@@ -126,9 +172,9 @@ func TestAlltoallwNeverGPUAwareOnSummit(t *testing.T) {
 
 func TestCollectiveOverheadBelowP2P(t *testing.T) {
 	m := Summit()
-	coll := m.MsgCost(1<<16, 0, 6, 2, true, true, ClassCollective)
-	p2p := m.MsgCost(1<<16, 0, 6, 2, true, true, ClassP2P)
-	w := m.MsgCost(1<<16, 0, 6, 2, true, true, ClassAlltoallw)
+	coll := m.MsgCost(1<<16, 0, 6, 12, true, true, ClassCollective)
+	p2p := m.MsgCost(1<<16, 0, 6, 12, true, true, ClassP2P)
+	w := m.MsgCost(1<<16, 0, 6, 12, true, true, ClassAlltoallw)
 	if coll.PostOverhead >= p2p.PostOverhead {
 		t.Error("vendor collective overhead should be below P2P overhead")
 	}
@@ -151,8 +197,8 @@ func TestMsgCostMonotoneInBytes(t *testing.T) {
 		if x > y {
 			x, y = y, x
 		}
-		cx := m.MsgCost(x, 0, 7, 4, true, true, ClassP2P).Total()
-		cy := m.MsgCost(y, 0, 7, 4, true, true, ClassP2P).Total()
+		cx := m.MsgCost(x, 0, 7, 24, true, true, ClassP2P).Total()
+		cy := m.MsgCost(y, 0, 7, 24, true, true, ClassP2P).Total()
 		return cx <= cy
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
@@ -210,26 +256,26 @@ func TestGPUPackAndCopyCosts(t *testing.T) {
 
 func TestDeviceP2PCongestionGrowsWithNodes(t *testing.T) {
 	m := Summit()
-	small := m.MsgCost(1<<12, 0, 6, 2, true, true, ClassP2P).PostOverhead
-	big := m.MsgCost(1<<12, 0, 6, 128, true, true, ClassP2P).PostOverhead
+	small := m.MsgCost(1<<12, 0, 6, 12, true, true, ClassP2P).PostOverhead
+	big := m.MsgCost(1<<12, 0, 6, 768, true, true, ClassP2P).PostOverhead
 	if big <= small {
 		t.Error("GPU-aware P2P posting cost must grow with job size (RDMA congestion)")
 	}
 	// Host-staged P2P and collectives are unaffected.
-	if m.MsgCost(1<<12, 0, 6, 128, true, false, ClassP2P).PostOverhead !=
-		m.MsgCost(1<<12, 0, 6, 2, true, false, ClassP2P).PostOverhead {
+	if m.MsgCost(1<<12, 0, 6, 768, true, false, ClassP2P).PostOverhead !=
+		m.MsgCost(1<<12, 0, 6, 12, true, false, ClassP2P).PostOverhead {
 		t.Error("host-path P2P overhead should not depend on job size")
 	}
-	if m.MsgCost(1<<12, 0, 6, 128, true, true, ClassCollective).PostOverhead !=
-		m.MsgCost(1<<12, 0, 6, 2, true, true, ClassCollective).PostOverhead {
+	if m.MsgCost(1<<12, 0, 6, 768, true, true, ClassCollective).PostOverhead !=
+		m.MsgCost(1<<12, 0, 6, 12, true, true, ClassCollective).PostOverhead {
 		t.Error("collective overhead should not depend on job size")
 	}
 }
 
 func TestAlltoallwBandwidthPenalty(t *testing.T) {
 	m := Spock() // GPU-aware Alltoallw, so no staging muddies the comparison
-	coll := m.MsgCost(1<<20, 0, 4, 2, true, true, ClassCollective)
-	w := m.MsgCost(1<<20, 0, 4, 2, true, true, ClassAlltoallw)
+	coll := m.MsgCost(1<<20, 0, 4, 8, true, true, ClassCollective)
+	w := m.MsgCost(1<<20, 0, 4, 8, true, true, ClassAlltoallw)
 	if w.PortTime <= coll.PortTime {
 		t.Error("Alltoallw must achieve lower bandwidth than the optimized collectives")
 	}

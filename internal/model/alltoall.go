@@ -25,6 +25,7 @@ const (
 	AlltoallPairwise
 	AlltoallRing
 	AlltoallBruck
+	AlltoallNodeAware
 )
 
 func (a AlltoallAlgo) String() string {
@@ -37,6 +38,8 @@ func (a AlltoallAlgo) String() string {
 		return "ring"
 	case AlltoallBruck:
 		return "bruck"
+	case AlltoallNodeAware:
+		return "node-aware"
 	}
 	return fmt.Sprintf("alltoall(%d)", int(a))
 }
@@ -57,6 +60,13 @@ type CollParams struct {
 	InterLat     float64 // inter-node wire latency
 	IntraLat     float64 // intra-node latency
 	MemBW        float64 // device memory bandwidth (Bruck rotation copies)
+	// LeaderBW is the aggregated inter-node bandwidth one leader flow drives
+	// in the hierarchical schedule (the group's summed injection share,
+	// capped by any fabric uplink). Zero disables the node-aware form.
+	LeaderBW float64
+	// Pipeline is the fragment pipeline depth of hierarchical collectives
+	// (machine.Model.CollPipeline); values below 1 mean store-and-forward.
+	Pipeline float64
 }
 
 // AlltoallShape describes one exchange as the model sees it: group size P,
@@ -71,6 +81,12 @@ type AlltoallShape struct {
 	Rounds    int
 	Bytes     float64
 	InterFrac float64
+	// Nodes and PerNode describe the group's placement for the hierarchical
+	// schedule: the number of distinct nodes the group spans and the largest
+	// per-node rank count. Zero Nodes means placement unknown (node-aware
+	// falls back to the ring form).
+	Nodes   int
+	PerNode int
 }
 
 // norm fills defaults so partially-specified shapes behave sensibly.
@@ -88,6 +104,9 @@ func (s AlltoallShape) norm() AlltoallShape {
 		s.InterFrac = 0
 	} else if s.InterFrac > 1 {
 		s.InterFrac = 1
+	}
+	if s.Nodes > 0 && s.PerNode <= 0 {
+		s.PerNode = (s.P + s.Nodes - 1) / s.Nodes
 	}
 	return s
 }
@@ -186,6 +205,50 @@ func BruckAlltoallTime(s AlltoallShape, cp CollParams) float64 {
 	return t
 }
 
+// NodeAwareAlltoallTime is the hierarchical two-level schedule: per-node
+// gather over NVLink (pipelined under the wire, one fragment exposed),
+// Nodes−1 lock-step leader rounds each moving the node-pair aggregate at the
+// leader's aggregated injection bandwidth, and a cut-through scatter whose
+// last fragment hops the NVLink after the final round. The NVLink side (every
+// byte crosses it once on egress) and the wire side progress on distinct
+// ports; the slower stream sets the makespan. Mirrors mpisim's nodeAwareAlgo
+// accounting.
+func NodeAwareAlltoallTime(s AlltoallShape, cp CollParams) float64 {
+	s = s.norm()
+	if s.P <= 1 || s.Dst == 0 {
+		return 0
+	}
+	if s.Nodes <= 1 || cp.LeaderBW <= 0 {
+		// Flat group (or unknown placement): degenerates to NVLink streaming.
+		return RingAlltoallTime(s, cp)
+	}
+	n := float64(s.Nodes)
+	g := float64(s.PerNode)
+	pipe := math.Max(1, cp.Pipeline)
+	d := float64(s.Dst)
+
+	// Per-rank off-node volume, split across the n−1 cyclic leader rounds.
+	offRank := s.InterFrac * d * s.Bytes / (n - 1)
+	// Gather slice: the slowest contributor streams its round share to the
+	// leader over NVLink; slices drain in round order, so the steady-state
+	// wire rate is bounded by max(round duration, gather slice).
+	gSlice := cp.Inject + offRank/cp.IntraBW
+	roundDur := cp.Inject + g*offRank/cp.LeaderBW
+	step := math.Max(roundDur, gSlice)
+	// Exposed pipeline edges: first gather fragment before round 1, the wire
+	// latency of the last round (latency delays arrivals, not the sender's
+	// chained rounds), and the last scatter fragment after it lands.
+	wire := cp.Overhead + gSlice/pipe + cp.IntraLat +
+		(n-1)*step + cp.InterLat +
+		cp.Inject + offRank/(pipe*cp.IntraBW) + cp.IntraLat
+
+	// NVLink egress: every rank streams all its blocks (gather slices plus
+	// direct intra-node traffic) through its one intra-node port.
+	nvlink := cp.Overhead + d*(cp.Inject+s.Bytes/cp.IntraBW) + cp.IntraLat
+
+	return math.Max(wire, nvlink)
+}
+
 // AlltoallTime evaluates the closed form of one schedule.
 func AlltoallTime(a AlltoallAlgo, s AlltoallShape, cp CollParams) float64 {
 	switch a {
@@ -195,6 +258,8 @@ func AlltoallTime(a AlltoallAlgo, s AlltoallShape, cp CollParams) float64 {
 		return RingAlltoallTime(s, cp)
 	case AlltoallBruck:
 		return BruckAlltoallTime(s, cp)
+	case AlltoallNodeAware:
+		return NodeAwareAlltoallTime(s, cp)
 	default:
 		return LinearAlltoallTime(s, cp)
 	}
@@ -210,9 +275,26 @@ func PickAlltoall(s AlltoallShape, cp CollParams) AlltoallAlgo {
 		return AlltoallLinear
 	}
 	best, bt := AlltoallLinear, LinearAlltoallTime(s, cp)
-	for _, a := range []AlltoallAlgo{AlltoallRing, AlltoallPairwise, AlltoallBruck} {
+	cands := []AlltoallAlgo{AlltoallRing, AlltoallPairwise, AlltoallBruck}
+	if s.Nodes > 1 && cp.LeaderBW > 0 {
+		cands = append(cands, AlltoallNodeAware)
+	}
+	for _, a := range cands {
 		if t := AlltoallTime(a, s, cp); t < bt {
 			best, bt = a, t
+		}
+	}
+	// Near-tie against the streamed schedule goes to the hierarchical one.
+	// The closed forms are steady-state, single-exchange: both drain the node
+	// uplink at the same rate, so they land within model error of each other
+	// in the aggregation regime. They differ under rank skew — the
+	// unsynchronized per-rank streams let one late rank stretch every
+	// receiver's tail, while the two-level schedule resynchronizes at node
+	// granularity, an effect the simulator shows consistently on chained
+	// multi-phase reshapes but a per-exchange form cannot price.
+	if best == AlltoallRing && s.Nodes > 1 && cp.LeaderBW > 0 {
+		if t := NodeAwareAlltoallTime(s, cp); t <= 1.03*bt {
+			return AlltoallNodeAware
 		}
 	}
 	return best

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/machine"
+	"repro/internal/topo"
 )
 
 // Algo selects the schedule an all-to-all-v exchange uses. The numerics are
@@ -38,6 +39,18 @@ const (
 	// bytes (and local rotation copies) for an exponentially smaller round
 	// count — the small-message algorithm.
 	AlgoBruck
+	// AlgoNodeAware is the hierarchical two-level schedule: ranks gather
+	// their off-node blocks to a per-node leader over NVLink (packed per
+	// destination node), leaders run a pairwise exchange over the *nodes* —
+	// n−1 rounds instead of p−1, each flow driving the node's full
+	// aggregated injection share — and the received aggregates scatter to
+	// their final ranks over NVLink, overlapping later rounds. Intra-node
+	// blocks never touch the NIC. This is the leader-based pattern of
+	// multi-node NCCL FFTs, and the reason it exists is the paper's central
+	// bandwidth gap: NVLink flows are ~3× cheaper than injection shares, so
+	// concentrating the wire traffic into one aggregated flow per node pair
+	// trades cheap intra-node hops for expensive inter-node message count.
+	AlgoNodeAware
 )
 
 func (a Algo) String() string {
@@ -50,12 +63,16 @@ func (a Algo) String() string {
 		return "ring"
 	case AlgoBruck:
 		return "bruck"
+	case AlgoNodeAware:
+		return "node-aware"
 	}
 	return fmt.Sprintf("algo(%d)", int(a))
 }
 
 // Algos lists the selectable schedules.
-func Algos() []Algo { return []Algo{AlgoLinear, AlgoPairwise, AlgoRing, AlgoBruck} }
+func Algos() []Algo {
+	return []Algo{AlgoLinear, AlgoPairwise, AlgoRing, AlgoBruck, AlgoNodeAware}
+}
 
 // Exchange describes one all-to-all-v instance to a CollectiveAlgo: who
 // sends how many bytes to whom, where the buffers live, each rank's fault
@@ -67,8 +84,9 @@ type Exchange struct {
 	Dev    []bool    // rank's buffers are device-resident (GPU-aware path)
 	Factor []float64 // fault degrade factor per rank (0 or 1 = healthy)
 	Start  []float64 // earliest network start per rank
-	Ranks  []int     // world rank of each exchange rank (node placement)
-	Nodes  int       // nodes spanned by the job (fabric saturation)
+	Ranks  []int     // world rank of each exchange rank
+	Nodes  int       // nodes occupied by the job
+	Topo   *topo.System
 	M      *machine.Model
 }
 
@@ -103,21 +121,22 @@ func (e *Exchange) factor(r int) float64 {
 // world ranks. Scheduled collectives move data in permutation rounds (every
 // link carries at most one flow at a time), which is exactly the traffic
 // pattern the fabric's adaptive routing handles without hotspots — so unlike
-// the naive linear path (machine.Model.FlowBW), they do not pay the fabric
-// saturation factor. This is the classic reason MPI libraries schedule their
-// all-to-alls at all.
+// the naive linear path (topo.System.NaiveFlowBW), they do not pay the
+// saturation/adaptive-routing losses. This is the classic reason MPI
+// libraries schedule their all-to-alls at all.
 func (e *Exchange) flowBW(srcW, dstW int) float64 {
-	m := e.M
-	if m.SameNode(srcW, dstW) {
-		return m.IntraBW
-	}
-	return m.NodeInjectionBW / float64(m.GPUsPerNode)
+	return e.Topo.SchedFlowBW(srcW, dstW)
+}
+
+// latency is the wire latency between two world ranks.
+func (e *Exchange) latency(srcW, dstW int) float64 {
+	return e.Topo.Latency(srcW, dstW)
 }
 
 // spansNodes reports whether any two exchange ranks live on different nodes.
 func (e *Exchange) spansNodes() bool {
 	for _, r := range e.Ranks[1:] {
-		if !e.M.SameNode(e.Ranks[0], r) {
+		if !e.Topo.SameNode(e.Ranks[0], r) {
 			return true
 		}
 	}
@@ -149,6 +168,8 @@ func algoImpl(a Algo) CollectiveAlgo {
 		return ringAlgo{}
 	case AlgoBruck:
 		return bruckAlgo{}
+	case AlgoNodeAware:
+		return nodeAwareAlgo{}
 	}
 	return nil
 }
@@ -167,7 +188,6 @@ func (linearAlgo) Name() string       { return "linear" }
 func (linearAlgo) Synchronized() bool { return true }
 
 func (linearAlgo) Complete(ex *Exchange) []float64 {
-	m := ex.M
 	comp := make([]float64, ex.Size)
 	for r := 0; r < ex.Size; r++ {
 		srcW := ex.Ranks[r]
@@ -178,7 +198,7 @@ func (linearAlgo) Complete(ex *Exchange) []float64 {
 				continue
 			}
 			dstW := ex.Ranks[d]
-			t += oh + float64(ex.Bytes[r][d])/m.FlowBW(srcW, dstW, ex.Nodes) + m.Latency(srcW, dstW)
+			t += oh + float64(ex.Bytes[r][d])/ex.Topo.NaiveFlowBW(srcW, dstW) + ex.latency(srcW, dstW)
 		}
 		comp[r] = ex.Start[r] + t*ex.factor(r)
 	}
@@ -222,7 +242,7 @@ func (pairwiseAlgo) Complete(ex *Exchange) []float64 {
 				continue
 			}
 			src, dw := ex.Ranks[r], ex.Ranks[dst]
-			d := (m.CollInject + float64(by)/ex.flowBW(src, dw) + m.Latency(src, dw)) * ex.factor(r)
+			d := (m.CollInject + float64(by)/ex.flowBW(src, dw) + ex.latency(src, dw)) * ex.factor(r)
 			if d > dur {
 				dur = d
 			}
@@ -272,7 +292,7 @@ func (ringAlgo) Complete(ex *Exchange) []float64 {
 			}
 			dw := ex.Ranks[dst]
 			var arr float64
-			if m.SameNode(sw, dw) {
+			if ex.Topo.SameNode(sw, dw) {
 				intra += (m.CollInject + float64(by)/m.IntraBW) * f
 				arr = intra + m.IntraLatency
 			} else {
@@ -339,10 +359,21 @@ func (bruckAlgo) Complete(ex *Exchange) []float64 {
 		return comp
 	}
 	mbar := float64(total) / float64(p*(p-1))
-	// Worst link present in the group gates each synchronized round.
+	// Worst link present in the group gates each synchronized round: the
+	// scheduled injection share of the group's most-crowded node.
 	bw, lat := m.IntraBW, m.IntraLatency
 	if ex.spansNodes() {
-		bw = m.NodeInjectionBW / float64(m.GPUsPerNode)
+		seen := make(map[int]bool, 8)
+		for _, wr := range ex.Ranks {
+			n := ex.Topo.Node(wr)
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if share := ex.Topo.InjShare(n); share < bw {
+				bw = share
+			}
+		}
 		if m.InterLatency > lat {
 			lat = m.InterLatency
 		}

@@ -162,7 +162,7 @@ func (c *Comm) Bcast(root int, b Buf) Buf {
 		payload := ins[root].buf
 		// Tree step cost: one message of the full payload per level; use the
 		// worst path (inter-node).
-		mc := m.MsgCost(payload.Bytes(), 0, c.WorldRank(root), w.nodes, dev, w.opts.GPUAware, machine.ClassCollective)
+		mc := m.MsgCostOn(payload.Bytes(), w.topo.Path(0, c.WorldRank(root)), w.nodes, dev, w.opts.GPUAware, machine.ClassCollective)
 		t := t0 + steps*(mc.PostOverhead+mc.PortTime+mc.Latency) + mc.PreStage + mc.PostStage
 		outs := make([]collOut, size)
 		for i := range outs {
@@ -243,10 +243,10 @@ func (c *Comm) Gatherv(root int, b Buf) []Buf {
 				continue
 			}
 			srcW := c.WorldRank(r)
-			mc := m.MsgCost(ins[r].buf.Bytes(), srcW, rootW, w.nodes, ins[r].buf.Loc == machine.Device, w.opts.GPUAware, machine.ClassCollective)
+			mc := m.MsgCostOn(ins[r].buf.Bytes(), w.topo.Path(srcW, rootW), w.nodes, ins[r].buf.Loc == machine.Device, w.opts.GPUAware, machine.ClassCollective)
 			t += mc.PostOverhead + mc.PortTime
 		}
-		t += m.Latency(c.WorldRank((root+1)%size), rootW)
+		t += w.topo.Latency(c.WorldRank((root+1)%size), rootW)
 		outs := make([]collOut, size)
 		for r := range outs {
 			outs[r].clock = t0 + 2*m.HostOverheadColl
@@ -294,7 +294,7 @@ func (c *Comm) Scatterv(root int, bufs []Buf) Buf {
 			}
 			dstW := c.WorldRank(r)
 			b := ins[root].send[r]
-			mc := m.MsgCost(b.Bytes(), rootW, dstW, w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassCollective)
+			mc := m.MsgCostOn(b.Bytes(), w.topo.Path(rootW, dstW), w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassCollective)
 			t += mc.PostOverhead + mc.PortTime
 			outs[r].clock = t + mc.Latency
 		}
@@ -426,7 +426,7 @@ func (c *Comm) alltoall(send []Buf, kind alltoallKind) []Buf {
 						continue
 					}
 					dstW := c.WorldRank(dst)
-					t += oh + float64(bytes)/m.FlowBW(srcW, dstW, w.nodes) + m.Latency(srcW, dstW)
+					t += oh + float64(bytes)/w.topo.NaiveFlowBW(srcW, dstW) + w.topo.Latency(srcW, dstW)
 				}
 			case kindAlltoallw:
 				// Naive per-message loop with derived datatypes; staging (if
@@ -441,7 +441,7 @@ func (c *Comm) alltoall(send []Buf, kind alltoallKind) []Buf {
 						continue
 					}
 					dstW := c.WorldRank(dst)
-					mc := m.MsgCost(ins[r].send[dst].Bytes(), srcW, dstW, w.nodes, dev, w.opts.GPUAware, machine.ClassAlltoallw)
+					mc := m.MsgCostOn(ins[r].send[dst].Bytes(), w.topo.Path(srcW, dstW), w.nodes, dev, w.opts.GPUAware, machine.ClassAlltoallw)
 					t += mc.Total()
 				}
 			}
@@ -580,6 +580,7 @@ func (c *Comm) schedExchange(send []Buf, impl CollectiveAlgo, opName string) (co
 			Start:  make([]float64, size),
 			Ranks:  make([]int, size),
 			Nodes:  w.nodes,
+			Topo:   w.topo,
 			M:      m,
 		}
 		for r := range ins {

@@ -95,7 +95,7 @@ func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
 					continue
 				}
 				dstW := c.WorldRank(dst)
-				t += oh + float64(bytes)/m.FlowBW(srcW, dstW, w.nodes) + m.Latency(srcW, dstW)
+				t += oh + float64(bytes)/w.topo.NaiveFlowBW(srcW, dstW) + w.topo.Latency(srcW, dstW)
 			}
 			if f := ins[r].factor; f > 1 {
 				t *= f

@@ -1,0 +1,281 @@
+package mpisim
+
+import "math"
+
+// nodeAwareAlgo is the hierarchical two-level all-to-all (AlgoNodeAware).
+//
+// Phase 1 (gather): each non-leader rank packs its off-node blocks per
+// destination node and streams them to its node's leader over NVLink, in the
+// cyclic order the leader will need them. Phase 2 (leader exchange): the
+// per-node leaders exchange aggregates over the n occupied nodes — node a
+// sends its aggregate to node (a+k) mod n in its k-th round — each flow
+// driving the group's aggregated share of the node's injection bandwidth
+// (topo.System.LeaderBW). Rounds chain per sender: a leader's round k starts
+// once its round k−1 drained and its k-th gather slice is available, so the
+// gather pipelines under earlier rounds and late ranks delay only their own
+// node, not the whole group (receivers carry the skew through arrivals, as in
+// ringAlgo). Phase 3 (scatter): as each aggregate lands, the receiving
+// leader fans it out to its final ranks over NVLink, overlapping later
+// rounds (NVLink and the NIC are distinct ports). Intra-node blocks stream
+// directly over NVLink after the sender's gather traffic and never touch the
+// NIC.
+//
+// The leader flows pay no CollCongestion: unlike the per-rank spray of the
+// streamed schedules, each node drives a single aggregated flow in round
+// order — the handful of fat flows adaptive routing handles cleanly.
+//
+// Compared to pairwise over ranks, the wire carries the same off-node volume
+// but in n−1 aggregated rounds instead of p−1, so the per-round injection
+// and latency bill shrinks by the node fan-in, and the cheap NVLink hops
+// hide under the ~3× slower wire — the bandwidth-gap structure the paper
+// measures on Summit (Fig. 4) turned into a schedule.
+type nodeAwareAlgo struct{}
+
+func (nodeAwareAlgo) Name() string       { return "node-aware" }
+func (nodeAwareAlgo) Synchronized() bool { return false }
+
+func (nodeAwareAlgo) Complete(ex *Exchange) []float64 {
+	m := ex.M
+	p := ex.Size
+	comp := make([]float64, p)
+	for r := 0; r < p; r++ {
+		comp[r] = ex.Start[r]
+	}
+	if p == 1 {
+		return comp
+	}
+
+	// Group the exchange ranks by node, dense ids in first-seen (rank) order.
+	nodeID := make([]int, p)
+	var groups [][]int // dense node id → exchange ranks, ascending
+	var worldNode []int
+	seen := map[int]int{}
+	for r := 0; r < p; r++ {
+		wn := ex.Topo.Node(ex.Ranks[r])
+		id, ok := seen[wn]
+		if !ok {
+			id = len(groups)
+			seen[wn] = id
+			groups = append(groups, nil)
+			worldNode = append(worldNode, wn)
+		}
+		nodeID[r] = id
+		groups[id] = append(groups[id], r)
+	}
+	n := len(groups)
+	if n == 1 {
+		// Flat group: the two-level schedule degenerates to NVLink streaming.
+		return ringAlgo{}.Complete(ex)
+	}
+
+	// Per-node start: a node's gather and leader rounds begin once its own
+	// active members have arrived. Nodes with no active member carry no
+	// traffic (their agg rows are zero) and are skipped below.
+	startN := make([]float64, n)
+	any := false
+	for a := 0; a < n; a++ {
+		startN[a] = math.Inf(-1)
+		for _, r := range groups[a] {
+			if !ex.active(r) {
+				continue
+			}
+			any = true
+			if s := ex.Start[r] + ex.overhead(r); s > startN[a] {
+				startN[a] = s
+			}
+		}
+	}
+	if !any {
+		return comp
+	}
+
+	// Aggregate per node-pair payloads.
+	agg := make([][]int, n)
+	for a := range agg {
+		agg[a] = make([]int, n)
+	}
+	for r := 0; r < p; r++ {
+		for d := 0; d < p; d++ {
+			if d == r || nodeID[d] == nodeID[r] {
+				continue
+			}
+			agg[nodeID[r]][nodeID[d]] += ex.Bytes[r][d]
+		}
+	}
+
+	// Worst degrade factor per node: its gather and leader flows gate on it.
+	fnode := make([]float64, n)
+	for a := range fnode {
+		fnode[a] = 1
+	}
+	for r := 0; r < p; r++ {
+		if f := ex.factor(r); f > fnode[nodeID[r]] {
+			fnode[nodeID[r]] = f
+		}
+	}
+
+	// Fragment pipeline depth: each round's aggregate is cut into pipe
+	// fragments that forward cut-through, so only about one fragment of the
+	// gather is exposed before a round's wire transfer starts, and one
+	// fragment of the scatter after it lands. Gather slices arrive at the
+	// leader already packed per destination node, so no repack copies are
+	// charged between the hops.
+	pipe := float64(m.CollPipeline)
+	if pipe < 1 {
+		pipe = 1
+	}
+
+	// Gather pipeline: gready[a][k] is when the first fragment of node a's
+	// aggregate for its k-th cyclic destination is leader-resident (the wire
+	// may start streaming then); gdone[a][k] is when the slice's last byte
+	// has left its source NVLink (the wire cannot finish before it).
+	// Non-leader flows to the leader run concurrently on distinct NVLinks; a
+	// slice is gated by its slowest contributor, and slices drain in round
+	// order. The leader's own blocks need no gather.
+	gready := make([][]float64, n)
+	gdone := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		gready[a] = make([]float64, n)
+		gdone[a] = make([]float64, n)
+		t := startN[a]
+		for k := 1; k < n; k++ {
+			b := (a + k) % n
+			slice := 0.0
+			for _, r := range groups[a][1:] {
+				by := 0
+				for _, d := range groups[b] {
+					by += ex.Bytes[r][d]
+				}
+				if by == 0 {
+					continue
+				}
+				if c := (m.CollInject + float64(by)/m.IntraBW) * ex.factor(r); c > slice {
+					slice = c
+				}
+			}
+			if slice > 0 {
+				gready[a][k] = t + slice/pipe + m.IntraLatency
+				t += slice
+				gdone[a][k] = t + m.IntraLatency
+			} else {
+				gready[a][k] = t
+				gdone[a][k] = t
+			}
+		}
+	}
+
+	// Leader exchange: n−1 rounds per sender, chained on that sender's NIC —
+	// round k starts once round k−1 drained and the k-th gather slice's first
+	// fragment is leader-resident, and cannot end before the slice's last
+	// byte (a slow gather — single sparse contributor — starves the wire).
+	// Rounds with no traffic cost nothing. arrive[b][k] is when round k's
+	// aggregate lands at node b.
+	sendEnd := make([]float64, n)
+	arrive := make([][]float64, n)
+	for b := range arrive {
+		arrive[b] = make([]float64, n)
+		for k := range arrive[b] {
+			arrive[b][k] = math.Inf(-1)
+		}
+	}
+	for a := 0; a < n; a++ {
+		t := startN[a]
+		for k := 1; k < n; k++ {
+			b := (a + k) % n
+			if agg[a][b] == 0 {
+				continue
+			}
+			ready := t
+			if g := gready[a][k]; g > ready {
+				ready = g
+			}
+			bw := ex.Topo.LeaderBW(worldNode[a], worldNode[b], len(groups[a]))
+			t = ready + (m.CollInject+float64(agg[a][b])/bw)*fnode[a]
+			if g := gdone[a][k]; g > t {
+				t = g
+			}
+			arrive[b][k] = t + m.InterLatency
+		}
+		sendEnd[a] = t
+	}
+
+	// Scatter: when round k lands at node b, the aggregate forwards
+	// cut-through — each receiver's last fragment hops the NVLink after the
+	// wire finishes; scatters of earlier rounds overlap later rounds. The
+	// leader holds its own blocks at arrival.
+	for b := 0; b < n; b++ {
+		leader := groups[b][0]
+		for k := 1; k < n; k++ {
+			a := (b - k + n) % n
+			if agg[a][b] == 0 {
+				continue
+			}
+			for _, r := range groups[b] {
+				by := 0
+				for _, s := range groups[a] {
+					by += ex.Bytes[s][r]
+				}
+				if by == 0 {
+					continue
+				}
+				done := arrive[b][k]
+				if r != leader {
+					done += (m.CollInject+float64(by)/pipe/m.IntraBW)*ex.factor(r) + m.IntraLatency
+				}
+				if done > comp[r] {
+					comp[r] = done
+				}
+			}
+		}
+	}
+
+	// Sender-side egress and direct intra-node traffic. A non-leader's NVLink
+	// port first drains its gather slices, then streams its intra-node blocks
+	// directly to their destinations; leaders stream intra-node blocks from
+	// the start (their NIC activity rides a separate port) and finish no
+	// earlier than their last send round drained.
+	for a := 0; a < n; a++ {
+		leader := groups[a][0]
+		for _, r := range groups[a] {
+			if !ex.active(r) {
+				continue
+			}
+			eg := ex.Start[r] + ex.overhead(r)
+			if r != leader {
+				up, kd := 0, 0
+				for b := 0; b < n; b++ {
+					if b == a {
+						continue
+					}
+					by := 0
+					for _, d := range groups[b] {
+						by += ex.Bytes[r][d]
+					}
+					if by > 0 {
+						up += by
+						kd++
+					}
+				}
+				if up > 0 {
+					eg += (float64(kd)*m.CollInject + float64(up)/m.IntraBW) * ex.factor(r)
+				}
+			}
+			for _, d := range groups[a] {
+				if d == r || ex.Bytes[r][d] == 0 {
+					continue
+				}
+				eg += (m.CollInject + float64(ex.Bytes[r][d])/m.IntraBW) * ex.factor(r)
+				if arr := eg + m.IntraLatency; arr > comp[d] {
+					comp[d] = arr
+				}
+			}
+			if eg > comp[r] {
+				comp[r] = eg
+			}
+			if r == leader && sendEnd[a] > comp[r] {
+				comp[r] = sendEnd[a]
+			}
+		}
+	}
+	return comp
+}

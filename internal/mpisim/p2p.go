@@ -43,7 +43,7 @@ func (c *Comm) postSend(dst, tag int, b Buf) (portDone float64, cost float64) {
 	eff := c.faultEnter("send")
 	st := c.state()
 	srcW, dstW := c.WorldRank(c.rank), c.WorldRank(dst)
-	mc := w.model.MsgCost(b.Bytes(), srcW, dstW, w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassP2P)
+	mc := w.model.MsgCostOn(b.Bytes(), w.topo.Path(srcW, dstW), w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassP2P)
 	if eff.Factor > 1 {
 		// Degraded link: serialization and latency scale, software costs don't.
 		mc.PortTime *= eff.Factor

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
@@ -115,6 +116,14 @@ type Options struct {
 	// (seconds): a rank stuck past it fails with ErrExchangeTimeout. Zero
 	// defers to the fault plan's Timeout (or no bound without a plan).
 	ExchangeTimeout float64
+	// Placement maps ranks onto GPU slots (topo.Block, topo.RoundRobin, or an
+	// explicit permutation). The zero value is block placement — the layout of
+	// every paper experiment.
+	Placement topo.Placement
+	// Fabric, when non-nil, attaches an explicit switch hierarchy: shared-link
+	// contention is then computed structurally from concurrent flows instead
+	// of the machine model's phenomenological saturation factor.
+	Fabric *topo.Fabric
 }
 
 // World owns the ranks of one simulated job.
@@ -122,6 +131,7 @@ type World struct {
 	model  *machine.Model
 	size   int
 	nodes  int
+	topo   *topo.System
 	opts   Options
 	states []*rankState
 	mail   []*mailbox
@@ -203,10 +213,15 @@ func NewWorld(m *machine.Model, size int, opts Options) *World {
 	if size < 1 {
 		panic(fmt.Sprintf("mpisim: invalid world size %d", size))
 	}
+	sys, err := topo.New(m, size, opts.Placement, opts.Fabric)
+	if err != nil {
+		panic(err)
+	}
 	w := &World{
 		model:  m,
 		size:   size,
-		nodes:  m.Nodes(size),
+		nodes:  sys.Nodes(),
+		topo:   sys,
 		opts:   opts,
 		states: make([]*rankState, size),
 		mail:   make([]*mailbox, size),
@@ -224,8 +239,11 @@ func (w *World) Model() *machine.Model { return w.model }
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
-// Nodes returns the number of nodes the job spans.
+// Nodes returns the number of nodes the job occupies.
 func (w *World) Nodes() int { return w.nodes }
+
+// Topo returns the resolved topology of the job (placement + fabric).
+func (w *World) Topo() *topo.System { return w.topo }
 
 // Result summarizes a Run.
 type Result struct {
@@ -363,6 +381,9 @@ func (c *Comm) World() *World { return c.core.world }
 
 // Model returns the machine model.
 func (c *Comm) Model() *machine.Model { return c.core.world.model }
+
+// Topo returns the resolved topology of the world.
+func (c *Comm) Topo() *topo.System { return c.core.world.topo }
 
 // GPUAware reports whether GPU-aware MPI is enabled for this job.
 func (c *Comm) GPUAware() bool { return c.core.world.opts.GPUAware }

@@ -1,0 +1,214 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestBlockPlacementMatchesLegacy(t *testing.T) {
+	m := machine.Summit()
+	s := Default(m, 14) // 2 full nodes + ragged node of 2
+	if s.Nodes() != 3 {
+		t.Fatalf("Nodes = %d, want 3", s.Nodes())
+	}
+	for r := 0; r < 14; r++ {
+		if s.Node(r) != m.Node(r) {
+			t.Errorf("rank %d: topo node %d != legacy %d", r, s.Node(r), m.Node(r))
+		}
+	}
+	if s.Residents(0) != 6 || s.Residents(2) != 2 {
+		t.Errorf("residents = %d,%d want 6,2", s.Residents(0), s.Residents(2))
+	}
+	if s.Leader(1) != 6 {
+		t.Errorf("leader of node 1 = %d, want 6", s.Leader(1))
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	m := machine.Summit()
+	s, err := New(m, 14, RoundRobin(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(14/6) = 3 nodes; rank r sits on node r mod 3.
+	if s.Nodes() != 3 {
+		t.Fatalf("Nodes = %d, want 3", s.Nodes())
+	}
+	for r := 0; r < 14; r++ {
+		if s.Node(r) != r%3 {
+			t.Errorf("rank %d on node %d, want %d", r, s.Node(r), r%3)
+		}
+	}
+	// Residents: 14 ranks over 3 nodes → 5,5,4.
+	if s.Residents(0) != 5 || s.Residents(1) != 5 || s.Residents(2) != 4 {
+		t.Errorf("residents = %d,%d,%d", s.Residents(0), s.Residents(1), s.Residents(2))
+	}
+	// Consecutive ranks never share a node (until wrap).
+	if s.SameNode(0, 1) || !s.SameNode(0, 3) {
+		t.Error("round-robin adjacency wrong")
+	}
+}
+
+func TestPermutationPlacement(t *testing.T) {
+	m := machine.Summit()
+	// Spread 4 ranks one per node: slots 0, 6, 12, 18.
+	s, err := New(m, 4, Permutation([]int{0, 6, 12, 18}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 4 {
+		t.Fatalf("Nodes = %d, want 4", s.Nodes())
+	}
+	for r := 0; r < 4; r++ {
+		if s.Node(r) != r || s.Residents(r) != 1 || s.Leader(r) != r {
+			t.Errorf("rank %d: node=%d residents=%d leader=%d", r, s.Node(r), s.Residents(r), s.Leader(r))
+		}
+	}
+	// Sole resident gets the whole injection pipe.
+	if bw := s.SchedFlowBW(0, 1); bw != m.NodeInjectionBW {
+		t.Errorf("solo-resident sched bw = %g, want full injection %g", bw, m.NodeInjectionBW)
+	}
+}
+
+func TestPermutationValidation(t *testing.T) {
+	m := machine.Summit()
+	if _, err := New(m, 3, Permutation([]int{0, 1}), nil); err == nil {
+		t.Error("wrong-length permutation accepted")
+	}
+	if _, err := New(m, 2, Permutation([]int{3, 3}), nil); err == nil {
+		t.Error("duplicate slot accepted")
+	}
+	if _, err := New(m, 2, Permutation([]int{-1, 0}), nil); err == nil {
+		t.Error("negative slot accepted")
+	}
+}
+
+func TestNaiveFlowBWMatchesMachine(t *testing.T) {
+	m := machine.Summit()
+	for _, size := range []int{1, 5, 12, 64} {
+		s := Default(m, size)
+		for _, pair := range [][2]int{{0, size - 1}, {size - 1, 0}} {
+			a, b := pair[0], pair[1]
+			if a == b {
+				continue
+			}
+			got := s.NaiveFlowBW(a, b)
+			want := m.FlowBW(a, b, size)
+			if math.Abs(got-want)/want > 1e-12 {
+				t.Errorf("size %d (%d→%d): topo %g != machine %g", size, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSchedVsNaive(t *testing.T) {
+	m := machine.Summit()
+	s := Default(m, 24)
+	// Scheduled traffic skips the saturation factor.
+	if s.SchedFlowBW(0, 23) <= s.NaiveFlowBW(0, 23) {
+		t.Error("scheduled inter flow should beat naive")
+	}
+	// Intra-node flows are identical.
+	if s.SchedFlowBW(0, 1) != m.IntraBW || s.NaiveFlowBW(0, 1) != m.IntraBW {
+		t.Error("intra-node flows should see IntraBW")
+	}
+}
+
+func TestFabricReplacesSaturation(t *testing.T) {
+	m := machine.Summit()
+	f := &Fabric{NodesPerSwitch: 4, UplinkBW: 4 * 23.5e9, AdaptiveLoss: 0.05}
+	s, err := New(m, 48, Block(), f) // 8 nodes, 2 switches
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-switch inter-node naive flow: one adaptive level, no uplink cap.
+	sameSw := s.NaiveFlowBW(0, 6) // nodes 0,1 under switch 0
+	wantSame := s.InjShare(0) * (1 - f.AdaptiveLoss)
+	if math.Abs(sameSw-wantSame)/wantSame > 1e-12 {
+		t.Errorf("same-switch naive bw = %g, want %g", sameSw, wantSame)
+	}
+	// Cross-switch: uplink shared by 24 crossing flows caps below the
+	// injection share, and two adaptive levels apply.
+	crossSw := s.NaiveFlowBW(0, 47)
+	up := f.UplinkBW / 24
+	wantCross := up * (1 - f.AdaptiveLoss) * (1 - f.AdaptiveLoss)
+	if math.Abs(crossSw-wantCross)/wantCross > 1e-12 {
+		t.Errorf("cross-switch naive bw = %g, want %g", crossSw, wantCross)
+	}
+	if crossSw >= sameSw {
+		t.Error("crossing a switch should cost bandwidth")
+	}
+	// Scheduled traffic pays the structural cap but no adaptive loss.
+	if got := s.SchedFlowBW(0, 47); math.Abs(got-up)/up > 1e-12 {
+		t.Errorf("cross-switch sched bw = %g, want uplink share %g", got, up)
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	m := machine.Summit()
+	bad := []*Fabric{
+		{NodesPerSwitch: 0, UplinkBW: 1e9},
+		{NodesPerSwitch: 2, UplinkBW: 0},
+		{NodesPerSwitch: 2, UplinkBW: 1e9, AdaptiveLoss: 1},
+		{NodesPerSwitch: 2, UplinkBW: 1e9, InjectionBW: -1},
+	}
+	for i, f := range bad {
+		if _, err := New(m, 12, Block(), f); err == nil {
+			t.Errorf("bad fabric %d accepted", i)
+		}
+	}
+}
+
+func TestLeaderBW(t *testing.T) {
+	m := machine.Summit()
+	s := Default(m, 18) // 3 full nodes
+	// A leader aggregating the whole node drives the full injection pipe.
+	if bw := s.LeaderBW(0, 1, 6); bw != m.NodeInjectionBW {
+		t.Errorf("full-node leader bw = %g, want %g", bw, m.NodeInjectionBW)
+	}
+	// Aggregating only 2 of 6 residents concentrates just the group's share.
+	want := m.NodeInjectionBW * 2 / 6
+	if bw := s.LeaderBW(0, 1, 2); math.Abs(bw-want)/want > 1e-12 {
+		t.Errorf("partial leader bw = %g, want %g", bw, want)
+	}
+	// aggr out of range clamps to the residents.
+	if s.LeaderBW(0, 1, 0) != m.NodeInjectionBW || s.LeaderBW(0, 1, 99) != m.NodeInjectionBW {
+		t.Error("aggr clamping wrong")
+	}
+}
+
+func TestInjectionOverride(t *testing.T) {
+	m := machine.Summit()
+	f := &Fabric{NodesPerSwitch: 64, UplinkBW: 1e12, InjectionBW: 10e9}
+	s, err := New(m, 12, Block(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InjShare(0); got != 10e9/6 {
+		t.Errorf("overridden injection share = %g, want %g", got, 10e9/6)
+	}
+}
+
+func TestPathResolution(t *testing.T) {
+	m := machine.Summit()
+	s := Default(m, 12)
+	p := s.Path(0, 7)
+	if p.SameNode || p.BW != s.NaiveFlowBW(0, 7) || p.Latency != m.InterLatency {
+		t.Errorf("inter path = %+v", p)
+	}
+	p = s.Path(0, 1)
+	if !p.SameNode || p.BW != m.IntraBW || p.Latency != m.IntraLatency {
+		t.Errorf("intra path = %+v", p)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Block().String() != "block" || RoundRobin().String() != "round-robin" {
+		t.Error("placement names wrong")
+	}
+	if Permutation([]int{0, 1}).String() != "permutation(2)" {
+		t.Error("permutation name wrong")
+	}
+}

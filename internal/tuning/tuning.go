@@ -66,7 +66,7 @@ func DefaultCandidates() []Candidate {
 		} {
 			algos := []core.CollAlgo{core.CollAuto}
 			if b == core.BackendAlltoallv {
-				algos = append(algos, core.CollPairwise, core.CollRing, core.CollBruck)
+				algos = append(algos, core.CollPairwise, core.CollRing, core.CollBruck, core.CollNodeAware)
 			}
 			for _, contig := range []bool{false, true} {
 				for _, a := range algos {
@@ -127,7 +127,8 @@ func algoFactor(c *mpisim.Comm, n, gs int, algo core.CollAlgo) float64 {
 		Overhead: oh, Inject: m.CollInject, Congestion: m.CollCongestion,
 		InterBW: schedBW, NaiveInterBW: schedBW * m.SaturationFactor(c.World().Nodes()),
 		IntraBW: m.IntraBW, InterLat: m.InterLatency, IntraLat: m.IntraLatency,
-		MemBW: m.GPU.MemBW,
+		MemBW:    m.GPU.MemBW,
+		LeaderBW: m.NodeInjectionBW, Pipeline: float64(m.CollPipeline),
 	}
 	interFrac := 1 - float64(m.GPUsPerNode)/float64(gs)
 	if interFrac < 0 {
@@ -137,6 +138,8 @@ func algoFactor(c *mpisim.Comm, n, gs int, algo core.CollAlgo) float64 {
 		P: gs, Dst: gs - 1, Rounds: gs - 1,
 		Bytes:     16 * float64(n) / float64(c.Size()*gs),
 		InterFrac: interFrac,
+		Nodes:     (gs + m.GPUsPerNode - 1) / m.GPUsPerNode,
+		PerNode:   m.GPUsPerNode,
 	}
 	var ma model.AlltoallAlgo
 	switch algo {
@@ -146,6 +149,8 @@ func algoFactor(c *mpisim.Comm, n, gs int, algo core.CollAlgo) float64 {
 		ma = model.AlltoallRing
 	case core.CollBruck:
 		ma = model.AlltoallBruck
+	case core.CollNodeAware:
+		ma = model.AlltoallNodeAware
 	default:
 		ma = model.AlltoallLinear
 	}

@@ -11,9 +11,9 @@ import (
 func TestDefaultCandidatesCoverTheSweep(t *testing.T) {
 	cands := DefaultCandidates()
 	// 2 decompositions × 2 layouts × (4 non-Alltoallv backends + Alltoallv
-	// in each of auto/pairwise/ring/bruck).
-	if len(cands) != 2*2*(4+4) {
-		t.Fatalf("got %d candidates, want 32", len(cands))
+	// in each of auto/pairwise/ring/bruck/node-aware).
+	if len(cands) != 2*2*(4+5) {
+		t.Fatalf("got %d candidates, want 36", len(cands))
 	}
 	seen := map[string]bool{}
 	for _, c := range cands {
