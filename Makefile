@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-serve smoke-serve chaos examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-serve smoke-serve chaos chaos-sdc examples experiments quick-experiments
 
 all: build vet test
 
@@ -69,6 +69,16 @@ smoke-serve:
 # fault schedule — failures replay.
 chaos:
 	go run ./cmd/fftserve -chaos -smoke -seed 7
+
+# Seeded silent-data-corruption run: bit-flipping GPUs pinned to physical
+# slots under verified load with the integrity defenses armed (checksummed
+# transport, ABFT phase invariants, health-ledger quarantine). Asserts zero
+# wrong answers and that every defense (retransmit, phase re-execution,
+# quarantine rebuild, typed budget-exhaustion failure) actually fired.
+chaos-sdc:
+	go run ./cmd/fftserve -chaos-sdc -smoke -seed 3
+	go run ./cmd/fftserve -chaos-sdc -smoke -seed 11
+	go run ./cmd/fftserve -chaos-sdc -smoke -seed 23
 
 examples:
 	go run ./examples/quickstart

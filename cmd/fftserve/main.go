@@ -60,13 +60,22 @@ func main() {
 		jsonOut  = flag.String("json", "", "with -bench: write the comparison as JSON to this file")
 		smoke    = flag.Bool("smoke", false, "small self-checking run for CI")
 		chaos    = flag.Bool("chaos", false, "seeded fault-injection run: verified load against faulty engines (exit 1 on any lost/corrupted response); -smoke shrinks it for CI")
+		chaosSDC = flag.Bool("chaos-sdc", false, "seeded silent-data-corruption run: bit-flipping GPUs under verified load with the integrity defenses armed (exit 1 on any wrong answer); -smoke shrinks it for CI")
 	)
 	flag.Parse()
 
-	if *chaos {
-		if err := runChaos(*seed, *smoke); err != nil {
-			fmt.Fprintln(os.Stderr, "fftserve: chaos FAILED:", err)
-			os.Exit(1)
+	if *chaos || *chaosSDC {
+		if *chaos {
+			if err := runChaos(*seed, *smoke); err != nil {
+				fmt.Fprintln(os.Stderr, "fftserve: chaos FAILED:", err)
+				os.Exit(1)
+			}
+		}
+		if *chaosSDC {
+			if err := runChaosSDC(*seed, *smoke); err != nil {
+				fmt.Fprintln(os.Stderr, "fftserve: chaos-sdc FAILED:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/heffte"
+	"repro/heffte/serve"
+)
+
+// Silent-data-corruption chaos mode (-chaos-sdc): bit-flipping "GPUs" pinned
+// to physical slots corrupt wire payloads and device bricks while verified
+// load runs with the integrity defenses armed. The run proves the whole
+// defense in depth — checksummed transport catches and retransmits corrupted
+// blocks, ABFT phase invariants catch device flips and re-execute the phase,
+// the health ledger quarantines the persistently bad slot and rebuilds
+// engines around it — and asserts that not one wrong answer ever reaches a
+// client: every delivered spectrum is bit-identical to a clean-run reference.
+//
+// Determinism: fault schedules are pure functions of the slot assignment the
+// server reports to the EngineFaultsOn hook, so identical seeds replay
+// identical schedules; fingerprints are printed for cross-run comparison.
+
+var sdcShape = [3]int{16, 16, 16}
+
+// sdcPlan builds the schedule for an engine whose rank→slot map is given:
+// the rank occupying badSlot has every send silently corrupted (count
+// consecutive corrupt transmissions per block) and its device brick flipped
+// between the first FFT phases (healed by one phase re-execution). Engines
+// placed away from badSlot run clean.
+func sdcPlan(slots []int, badSlot, count int) *heffte.FaultPlan {
+	for r, sl := range slots {
+		if sl != badSlot {
+			continue
+		}
+		fp := &heffte.FaultPlan{Timeout: 1}
+		for op := 0; op < 64; op++ {
+			fp.Events = append(fp.Events, heffte.FaultEvent{
+				Kind: heffte.FaultCorruptSilent, Rank: r, Op: op, Count: count,
+			})
+		}
+		fp.Events = append(fp.Events, heffte.FaultEvent{
+			Kind: heffte.FaultCorruptSilent, Brick: true, Rank: r, Op: 0, Count: 1,
+		})
+		return fp
+	}
+	return nil
+}
+
+func runChaosSDC(seed int64, smoke bool) error {
+	const ranks = 4
+	load := 64
+	if smoke {
+		load = 24
+	}
+
+	var planMu sync.Mutex
+	mkServer := func(badSlot, count, retries int) *serve.Server {
+		return serve.New(serve.Config{
+			Ranks:               ranks,
+			Window:              3 * time.Millisecond,
+			MaxBatch:            8,
+			Workers:             2,
+			MaxRetries:          retries,
+			RetryBackoff:        100 * time.Microsecond,
+			RetryBackoffCap:     time.Millisecond,
+			Integrity:           heffte.IntegrityConfig{Checksums: true, Invariants: true},
+			QuarantineThreshold: 3,
+			EngineFaultsOn: func(shape string, build int, slots []int) *heffte.FaultPlan {
+				plan := sdcPlan(slots, badSlot, count)
+				planMu.Lock()
+				fmt.Printf("chaos-sdc: engine build %d for %s on slots %v: %s [fingerprint %s]\n",
+					build, shape, slots, plan, plan.Fingerprint())
+				planMu.Unlock()
+				return plan
+			},
+		})
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	input := make([]complex128, sdcShape[0]*sdcShape[1]*sdcShape[2])
+	for i := range input {
+		input[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	expected, err := chaosReference(sdcShape, ranks, input)
+	if err != nil {
+		return fmt.Errorf("reference transform: %w", err)
+	}
+
+	// Phase 1 — repairable corruption under load: the GPU on slot 1 flips one
+	// bit in every block it sends (one corrupt transmission each — the
+	// transport's retransmit heals it) and in its device brick between phases
+	// (one phase re-execution heals it). Requests keep succeeding bit-exactly
+	// while suspicion piles onto slot 1 until quarantine rebuilds around it.
+	fmt.Println("chaos-sdc: phase 1 — repairable flips under verified load")
+	srv := mkServer(1, 1, 2)
+	var mismatched int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	perClient := (load + len(errs) - 1) / len(errs)
+	for c := range errs {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			buf := make([]complex128, len(input))
+			for i := 0; i < perClient; i++ {
+				copy(buf, input)
+				if err := srv.Submit(context.Background(), &serve.Request{Global: sdcShape, Data: buf}); err != nil {
+					errs[c] = fmt.Errorf("submit under repairable corruption: %w", err)
+					return
+				}
+				if !equalComplex(buf, expected) {
+					mu.Lock()
+					mismatched++
+					mu.Unlock()
+					errs[c] = fmt.Errorf("wrong answer delivered")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	st := srv.Stats()
+	srv.Close()
+	in := st.Integrity
+	st.WriteText(os.Stdout)
+	for _, c := range []struct {
+		name string
+		got  int64
+	}{
+		{"envelope mismatch", in.Totals.ChecksumMismatches},
+		{"retransmit", in.Totals.Retransmits},
+		{"invariant failure", in.Totals.InvariantFailures},
+		{"phase re-execution", in.Totals.PhaseReexecs},
+		{"quarantine", int64(in.Quarantines)},
+		{"quarantine rebuild", int64(in.QuarantineRebuilds)},
+	} {
+		if c.got == 0 {
+			return fmt.Errorf("chaos-sdc: expected at least one %s, got none", c.name)
+		}
+	}
+
+	// Phase 2 — unrepairable link: slot 2's sends stay corrupt past the
+	// retransmit budget. The batch fails with the typed sentinel (never wrong
+	// data), the failed run's suspicion quarantines the slot, and the
+	// server-side retry succeeds on an engine rebuilt around it.
+	fmt.Println("chaos-sdc: phase 2 — budget exhaustion, then surgical rebuild")
+	srv = mkServer(2, 4, 2)
+	defer srv.Close()
+	buf := append([]complex128(nil), input...)
+	if err := srv.Submit(context.Background(), &serve.Request{Global: sdcShape, Data: buf}); err != nil {
+		return fmt.Errorf("submit with hard corruption not recovered by rebuild: %w", err)
+	}
+	if !equalComplex(buf, expected) {
+		mismatched++
+		return fmt.Errorf("chaos-sdc: wrong answer after rebuild recovery")
+	}
+	st2 := srv.Stats()
+	st2.WriteText(os.Stdout)
+	if st2.Recovery.Retries == 0 {
+		return fmt.Errorf("chaos-sdc: hard corruption recovered without a server-side retry?")
+	}
+	if st2.Integrity.Quarantines == 0 {
+		return fmt.Errorf("chaos-sdc: hard corruption never quarantined the slot")
+	}
+
+	// A direct probe of the typed sentinel: with retries disabled the client
+	// sees ErrRetransmitExhausted, not data.
+	srvNR := mkServer(3, 4, -1)
+	defer srvNR.Close()
+	probe := append([]complex128(nil), input...)
+	err = srvNR.Submit(context.Background(), &serve.Request{Global: sdcShape, Data: probe})
+	if !errors.Is(err, heffte.ErrRetransmitExhausted) {
+		return fmt.Errorf("chaos-sdc: no-retry submit = %v, want ErrRetransmitExhausted", err)
+	}
+
+	if mismatched != 0 {
+		return fmt.Errorf("chaos-sdc: %d wrong answers delivered", mismatched)
+	}
+	fmt.Printf("CHAOS-SDC OK seed=%d (0 wrong answers; mismatches=%d retransmits=%d reexecs=%d quarantines=%d)\n",
+		seed, in.Totals.ChecksumMismatches, in.Totals.Retransmits, in.Totals.PhaseReexecs, in.Quarantines)
+	return nil
+}

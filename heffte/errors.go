@@ -52,10 +52,21 @@ var (
 	// per-exchange virtual-time bound: a dropped message or a straggler
 	// stalled past the timeout surfaces as a bounded error, never a hang.
 	ErrExchangeTimeout = mpisim.ErrExchangeTimeout
+	// ErrRetransmitExhausted marks a checksummed block that stayed corrupt
+	// through the whole per-exchange retransmit budget (WithIntegrity with
+	// Checksums on): the link is feeding garbage faster than the transport
+	// can repair it.
+	ErrRetransmitExhausted = mpisim.ErrRetransmitExhausted
+	// ErrIntegrity marks an ABFT phase invariant that kept failing after
+	// phase-scoped re-execution (WithIntegrity with Invariants on): the data
+	// is provably corrupt and cannot be repaired locally. Carries rank and
+	// phase context.
+	ErrIntegrity = mpisim.ErrIntegrity
 )
 
 // IsFault reports whether err wraps one of the injected-fault sentinels
-// (ErrRankFailed, ErrMessageCorrupt, ErrExchangeTimeout) — the transient,
+// (ErrRankFailed, ErrMessageCorrupt, ErrExchangeTimeout,
+// ErrRetransmitExhausted, ErrIntegrity) — the transient,
 // infrastructure-class failures the serving layer retries, as opposed to
 // configuration errors it fails immediately.
 func IsFault(err error) bool { return mpisim.IsFault(err) }

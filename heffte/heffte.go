@@ -203,6 +203,13 @@ const (
 	FaultDrop    = faults.Drop
 	FaultCorrupt = faults.Corrupt
 	FaultKill    = faults.Kill
+	// FaultCorruptDetected is the precise name of FaultCorrupt: corruption
+	// the modeled transport detects on receipt (ErrMessageCorrupt).
+	FaultCorruptDetected = faults.CorruptDetected
+	// FaultCorruptSilent really flips payload bits in delivered buffers with
+	// no modeled detection — the silent-data-corruption threat the integrity
+	// layer (WithIntegrity) exists to defeat.
+	FaultCorruptSilent = faults.CorruptSilent
 )
 
 // GenerateFaults derives a reproducible FaultPlan from a seed: identical
@@ -273,6 +280,22 @@ func WithTracer(tr *Tracer) WorldOption {
 // WithFaults injects a seeded fault schedule.
 func WithFaults(fp *FaultPlan) WorldOption {
 	return func(o *WorldOptions) { o.Faults = fp }
+}
+
+// IntegrityConfig enables the end-to-end silent-data-corruption defenses:
+// checksummed transport envelopes with bounded retransmit, and the ABFT
+// phase invariants of the transform engine with phase-scoped re-execution.
+// The zero value disables everything (no modeled cost, no protection).
+type IntegrityConfig = mpisim.IntegrityConfig
+
+// IntegritySnapshot reports what the integrity machinery did: envelope
+// checks and mismatches, block retransmits, invariant checks and failures,
+// phase re-executions. Read a world's totals with World.IntegrityCounters.
+type IntegritySnapshot = mpisim.IntegritySnapshot
+
+// WithIntegrity arms the integrity layer on the world.
+func WithIntegrity(ic IntegrityConfig) WorldOption {
+	return func(o *WorldOptions) { o.Integrity = ic }
 }
 
 // NewWorldWith creates a simulated job configured by functional options —

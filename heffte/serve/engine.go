@@ -67,13 +67,49 @@ type engine struct {
 	// commPhases is the collective configuration the plan resolved to,
 	// captured on rank 0 at plan creation (identical on every rank).
 	commPhases []heffte.CommPhase
+
+	// slots is the rank→GPU-slot map the engine's world was placed with; the
+	// health ledger attributes per-rank suspicion through it. lastInteg and
+	// lastSusp (under statsMu) are the world counters already harvested, so
+	// repeated harvests deliver deltas.
+	slots     []int
+	lastInteg heffte.IntegritySnapshot
+	lastSusp  []int64
+}
+
+// harvest returns the integrity counters and per-rank suspicion the engine's
+// world accumulated since the previous harvest.
+func (e *engine) harvest() (heffte.IntegritySnapshot, []int64) {
+	snap := e.world.IntegrityCounters().Snapshot()
+	susp := e.world.SuspicionScores()
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	d := snap
+	prev := e.lastInteg
+	d.ChecksumChecks -= prev.ChecksumChecks
+	d.ChecksumMismatches -= prev.ChecksumMismatches
+	d.Retransmits -= prev.Retransmits
+	d.InvariantChecks -= prev.InvariantChecks
+	d.InvariantFailures -= prev.InvariantFailures
+	d.PhaseReexecs -= prev.PhaseReexecs
+	e.lastInteg = snap
+	ds := make([]int64, len(susp))
+	for r, v := range susp {
+		ds[r] = v
+		if r < len(e.lastSusp) {
+			ds[r] -= e.lastSusp[r]
+		}
+	}
+	e.lastSusp = susp
+	return d, ds
 }
 
 // engineWorldOpts assembles the world options every engine of a server runs
-// with: GPU-awareness, an optional fault schedule, and the server's placement
-// map / fabric model.
-func engineWorldOpts(cfg Config, fp *heffte.FaultPlan) heffte.WorldOptions {
-	wo := heffte.WorldOptions{GPUAware: !cfg.NoGPUAware, Faults: fp, Placement: cfg.Placement}
+// with: GPU-awareness, an optional fault schedule, the integrity defenses,
+// and the (possibly quarantine-adjusted) placement / fabric model.
+func engineWorldOpts(cfg Config, fp *heffte.FaultPlan, place heffte.Placement) heffte.WorldOptions {
+	wo := heffte.WorldOptions{GPUAware: !cfg.NoGPUAware, Faults: fp,
+		Placement: place, Integrity: cfg.Integrity}
 	if cfg.Fabric != nil {
 		f := *cfg.Fabric
 		wo.Fabric = &f
@@ -84,13 +120,14 @@ func engineWorldOpts(cfg Config, fp *heffte.FaultPlan) heffte.WorldOptions {
 // newEngine starts the world and creates the plan on every rank. It returns
 // after plan creation succeeded (or failed) everywhere. A non-nil fault plan
 // arms the world with a deterministic fault schedule (chaos testing).
-func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig) (*engine, error) {
+func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig, slots []int) (*engine, error) {
 	e := &engine{
 		key:     k,
 		size:    k.ranks,
 		inBoxes: heffte.DefaultBricks(k.ranks, k.global),
 		jobs:    make([]chan *engineJob, k.ranks),
 		done:    make(chan struct{}),
+		slots:   slots,
 	}
 	for r := range e.jobs {
 		e.jobs[r] = make(chan *engineJob, 1)

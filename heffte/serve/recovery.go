@@ -153,6 +153,11 @@ func (s *Server) attempt(key string, reqs []*Request, depth int) error {
 		return s.retry(key, reqs, depth)
 	}
 	execErr := slot.eng.execute(reqs[0].Direction, reqs)
+	if s.noteHealth(slot.eng) {
+		// The health ledger quarantined a GPU slot this engine occupies:
+		// invalidate it so the next build places ranks around the bad slot.
+		s.cache.invalidate(slot)
+	}
 	if execErr != nil && heffte.IsFault(execErr) {
 		// The engine's world is permanently failed: evict it so this retry —
 		// and every other in-flight batch on it — rebuilds on a fresh world.
@@ -252,7 +257,12 @@ func (s *Server) runFresh(req *Request) error {
 	boxes := heffte.DefaultBricks(k.ranks, k.global)
 	fields := Scatter(k.global, req.Data, boxes)
 	errs := make([]error, k.ranks)
-	w := heffte.NewWorld(s.cfg.Machine, k.ranks, heffte.WorldOptions{GPUAware: !s.cfg.NoGPUAware})
+	// Degraded worlds are clean (no injected faults) but keep the integrity
+	// defenses armed: degradation must never weaken the zero-wrong-answers
+	// guarantee.
+	w := heffte.NewWorld(s.cfg.Machine, k.ranks, heffte.WorldOptions{
+		GPUAware: !s.cfg.NoGPUAware, Integrity: s.cfg.Integrity,
+	})
 	w.Run(func(c *heffte.Comm) {
 		r := c.Rank()
 		var perr error

@@ -125,6 +125,21 @@ type Config struct {
 	// hook: deterministic schedules (heffte.GenerateFaults) keyed on the
 	// build counter exercise the whole recovery path reproducibly.
 	EngineFaults func(shape string, build int) *heffte.FaultPlan
+	// EngineFaultsOn is EngineFaults with the engine's rank→GPU-slot map: a
+	// chaos schedule can pin faults to physical slots, so a "bad GPU" keeps
+	// corrupting whichever rank lands on it — and stops once quarantine
+	// rebuilds engines away from it. Takes precedence over EngineFaults.
+	EngineFaultsOn func(shape string, build int, slots []int) *heffte.FaultPlan
+
+	// Integrity arms the silent-data-corruption defenses on every engine
+	// world (and the degraded path): checksummed transport envelopes with
+	// bounded retransmit, and the transform engine's ABFT phase invariants
+	// with phase-scoped re-execution. The zero value disables both.
+	Integrity heffte.IntegrityConfig
+	// QuarantineThreshold is the accumulated per-GPU-slot suspicion (from
+	// retransmits and invariant failures) at which the slot is quarantined
+	// and engines rebuild on placements avoiding it (default 3).
+	QuarantineThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +176,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 25 * time.Millisecond
 	}
+	if c.QuarantineThreshold <= 0 {
+		c.QuarantineThreshold = 3
+	}
 	return c
 }
 
@@ -173,6 +191,7 @@ type Server struct {
 	cache  *engineCache
 	closed atomic.Bool
 	rec    recovery
+	health health
 }
 
 // New starts a server (its worker pool runs until Close).
@@ -181,12 +200,18 @@ func New(cfg Config) *Server {
 	s := &Server{cfg: cfg}
 	s.rec.breakers = map[string]*breaker{}
 	s.rec.builds = map[string]int{}
+	s.health.suspicion = map[int]int64{}
+	s.health.quarantined = map[int]bool{}
 	s.cache = newEngineCache(cfg.CacheShapes, func(k engineKey) (*engine, error) {
+		place, slots := s.placementFor(k.ranks)
 		var fp *heffte.FaultPlan
-		if cfg.EngineFaults != nil {
+		switch {
+		case cfg.EngineFaultsOn != nil:
+			fp = cfg.EngineFaultsOn(k.String(), s.nextBuild(k.String()), slots)
+		case cfg.EngineFaults != nil:
 			fp = cfg.EngineFaults(k.String(), s.nextBuild(k.String()))
 		}
-		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp), cfg.Comm)
+		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp, place), cfg.Comm, slots)
 	})
 	s.sched = sched.New[*Request](sched.Config{
 		Workers:  cfg.Workers,
@@ -282,13 +307,15 @@ type Stats struct {
 	Cache     CacheStats
 	Engines   []EngineStats
 	Recovery  RecoveryStats
+	Integrity IntegrityStats
 }
 
 // Stats snapshots the server's counters.
 func (s *Server) Stats() Stats {
 	cs, es := s.cache.stats()
 	sort.Slice(es, func(i, j int) bool { return es[i].Shape < es[j].Shape })
-	return Stats{Scheduler: s.sched.Stats(), Cache: cs, Engines: es, Recovery: s.recoveryStats()}
+	return Stats{Scheduler: s.sched.Stats(), Cache: cs, Engines: es,
+		Recovery: s.recoveryStats(), Integrity: s.integrityStats()}
 }
 
 // WriteText renders the snapshot as a human-readable report.
@@ -328,6 +355,16 @@ func (st Stats) WriteText(w io.Writer) {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(w, "  breaker %s: %s\n", k, r.Breakers[k])
+		}
+	}
+	in := st.Integrity
+	if t := in.Totals; t.ChecksumChecks > 0 || t.InvariantChecks > 0 || in.Quarantines > 0 {
+		fmt.Fprintf(w, "integrity: %d envelope checks (%d mismatches, %d retransmits), %d invariant checks (%d failures, %d phase re-execs)\n",
+			t.ChecksumChecks, t.ChecksumMismatches, t.Retransmits,
+			t.InvariantChecks, t.InvariantFailures, t.PhaseReexecs)
+		if in.Quarantines > 0 {
+			fmt.Fprintf(w, "  quarantined slots %v (%d engine rebuilds)\n",
+				in.QuarantinedSlots, in.QuarantineRebuilds)
 		}
 	}
 }

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+)
+
+func init() {
+	register(Experiment{
+		ID: "integrity",
+		Title: "Integrity defenses: virtual-time overhead of checksummed transport and ABFT " +
+			"invariants on Forward, and the price of each recovery path",
+		Run: runIntegrityExp,
+	})
+}
+
+// integrityForward runs one Forward on Summit under an integrity
+// configuration and returns the virtual runtime plus the integrity counters.
+// Overhead rows use phantom payloads (the tested phantom/real parity property
+// makes the clocks identical); recovery rows need real payloads so injected
+// bit flips actually land and the defenses actually fire.
+func integrityForward(grid [3]int, ranks int, ic mpisim.IntegrityConfig, fp *faults.Plan, real bool) (float64, mpisim.IntegritySnapshot, error) {
+	w := mpisim.NewWorld(machine.Summit(), ranks, mpisim.Options{GPUAware: true, Integrity: ic, Faults: fp})
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := core.NewPlan(c, core.Config{Global: grid})
+		if err != nil {
+			panic(err)
+		}
+		defer p.Close()
+		f := core.NewPhantom(p.InBox())
+		if real {
+			f = core.NewField(p.InBox())
+			f.FillRandom(int64(101 + c.Rank()))
+		}
+		if err := p.Forward(f); err != nil {
+			panic(err)
+		}
+	})
+	return res.MaxClock, w.IntegrityCounters().Snapshot(), res.Err
+}
+
+// sdcWirePlan corrupts rank 1's first sends once each: every flip is caught
+// by the checksummed envelope and healed by a single retransmit.
+func sdcWirePlan(ops int) *faults.Plan {
+	p := &faults.Plan{Timeout: 1}
+	for op := 0; op < ops; op++ {
+		p.Events = append(p.Events, faults.Event{Kind: faults.CorruptSilent, Rank: 1, Op: op, Count: 1})
+	}
+	return p
+}
+
+// runIntegrityExp prints two tables: the steady-state overhead of each
+// integrity layer on a clean Forward (the acceptance gate: full defenses
+// < 3% at 128³), and the virtual-time price of the recovery paths when
+// corruption actually strikes.
+func runIntegrityExp(w io.Writer, opts RunOptions) error {
+	ranks := 64
+	grids := [][3]int{{32, 32, 32}, {128, 128, 128}, {256, 256, 256}}
+	recoveryGrid := [3]int{128, 128, 128}
+	if opts.Quick {
+		ranks = 16
+		grids = grids[:2]
+		recoveryGrid = [3]int{32, 32, 32}
+	}
+
+	configs := []struct {
+		name string
+		ic   mpisim.IntegrityConfig
+	}{
+		{"off", mpisim.IntegrityConfig{}},
+		{"checksums", mpisim.IntegrityConfig{Checksums: true}},
+		{"invariants", mpisim.IntegrityConfig{Invariants: true}},
+		{"full", mpisim.IntegrityConfig{Checksums: true, Invariants: true}},
+	}
+
+	fmt.Fprintf(w, "Clean-run overhead (Summit, %d ranks, GPU-aware, phantom payloads):\n", ranks)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "grid\tconfig\tforward\toverhead")
+	for _, g := range grids {
+		base := 0.0
+		for _, c := range configs {
+			t, _, err := integrityForward(g, ranks, c.ic, nil, false)
+			if err != nil {
+				return err
+			}
+			if c.name == "off" {
+				base = t
+				fmt.Fprintf(tw, "%d³\t%s\t%.1fµs\t—\n", g[0], c.name, t*1e6)
+				continue
+			}
+			fmt.Fprintf(tw, "%d³\t%s\t%.1fµs\t%+.2f%%\n", g[0], c.name, t*1e6, (t/base-1)*100)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	full := mpisim.IntegrityConfig{Checksums: true, Invariants: true}
+	clean, _, err := integrityForward(recoveryGrid, ranks, full, nil, true)
+	if err != nil {
+		return err
+	}
+	wire, wireStats, err := integrityForward(recoveryGrid, ranks, full, sdcWirePlan(8), true)
+	if err != nil {
+		return err
+	}
+	brickPlan := &faults.Plan{Timeout: 1, Events: []faults.Event{
+		{Kind: faults.CorruptSilent, Brick: true, Rank: 1, Op: 0, Count: 1},
+	}}
+	brick, brickStats, err := integrityForward(recoveryGrid, ranks, full, brickPlan, true)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nRecovery price (%d³, full defenses, real payloads):\n", recoveryGrid[0])
+	tw = newTable(w)
+	fmt.Fprintln(tw, "scenario\tforward\tvs clean\trecoveries")
+	fmt.Fprintf(tw, "clean\t%.1fµs\t—\t—\n", clean*1e6)
+	fmt.Fprintf(tw, "wire flips ×%d\t%.1fµs\t%+.2f%%\t%d retransmits\n",
+		wireStats.Retransmits, wire*1e6, (wire/clean-1)*100, wireStats.Retransmits)
+	fmt.Fprintf(tw, "brick flip ×1\t%.1fµs\t%+.2f%%\t%d phase re-execs\n",
+		brick*1e6, (brick/clean-1)*100, brickStats.PhaseReexecs)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nA recovery touching one rank can cost less than its local price: per-rank")
+	fmt.Fprintln(w, "completion of the exchange schedules is skewed by tens of µs, so a single")
+	fmt.Fprintln(w, "phase re-execution (or a handful of block retransmits off the critical")
+	fmt.Fprintln(w, "path) often hides entirely in slack another rank sets anyway.")
+	return nil
+}

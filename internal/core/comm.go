@@ -160,6 +160,9 @@ func pickAlgo(g *mpisim.Comm, st exchStats, eb, batch int) mpisim.Algo {
 		MemBW:    m.GPU.MemBW,
 		LeaderBW: st.leaderBW, Pipeline: float64(m.CollPipeline),
 	}
+	if g.Integrity().Checksums {
+		cp.ChecksumBW, cp.ChecksumOverhead = m.GPU.ChecksumRate()
+	}
 	shape := model.AlltoallShape{
 		P:         st.gs,
 		Dst:       (st.pairs + st.gs - 1) / st.gs,
@@ -248,6 +251,11 @@ type CommPhase struct {
 	// "2-level(N nodes × ≤g ranks)" for the hierarchical schedule, "flat"
 	// for single-level ones. Empty when this rank is not in the group.
 	Schedule string
+	// Checksummed reports whether this phase's exchange runs under the
+	// integrity layer (transport checksum envelopes and/or ABFT envelope
+	// sums), so per-phase checksum compute/verify passes are priced into
+	// virtual time.
+	Checksummed bool
 }
 
 // CommPhases reports the resolved per-phase communication configuration for
@@ -264,6 +272,7 @@ func (p *Plan) CommPhases() []CommPhase {
 		if rs.group != nil {
 			cp.GroupSize = rs.group.Size()
 			cp.Schedule = "flat"
+			cp.Checksummed = rs.group.Integrity().Enabled()
 			if p.opts.Backend == BackendAlltoallv {
 				algo, chunks, overlap := rs.resolve(p.opts, 16, 1)
 				cp.Algo = collAlgoOf(algo)
@@ -314,6 +323,7 @@ func runReshapeSingle[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom,
 			recycleRecv[T](recv[gi])
 		}
 	}
+	rs.chargeEnvelopeVerify(recvBytes)
 	ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
 	return newData
 }
@@ -332,6 +342,7 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 	gs := g.Size()
 	eb := elemBytes[T]()
 	newData := allocNewArrays[T](rs, len(datas), phantom)
+	ic := g.Integrity()
 
 	packChunk := func(ci int) ([]mpisim.Buf, int) {
 		bufs := make([]mpisim.Buf, gs)
@@ -357,6 +368,12 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 			}
 			bufs[gi] = mkBuf(data, 0)
 			bufs[gi].Move = true
+			if ic.Invariants {
+				envelopeSum(&bufs[gi], data)
+			}
+		}
+		if ic.Invariants && !ic.Checksums {
+			g.ChargeChecksum(total)
 		}
 		if ci == chunks-1 {
 			// The inputs are fully drained once the last chunk is packed.
@@ -376,6 +393,7 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 			if newData == nil {
 				continue
 			}
+			verifyEnvelope[T](rs, gi, recv[gi])
 			src := bufSlice[T](recv[gi])
 			off := 0
 			for fi := range newData {
@@ -384,6 +402,7 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 			}
 			recycleRecv[T](recv[gi])
 		}
+		rs.chargeEnvelopeVerify(total)
 		return total
 	}
 

@@ -188,6 +188,9 @@ func (p *Plan) fftStage(st stage, fields []*Field, dir fft.Direction) float64 {
 	if box.Empty() {
 		return 0
 	}
+	if p.comm.Integrity().Invariants {
+		return p.fftStageABFT(st, fields, dir)
+	}
 	s := box.Sizes()
 	g := p.dev.Model()
 

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/mpisim"
+)
+
+// ABFT phase invariants (IntegrityConfig.Invariants): the transform engine
+// exploits the linearity of the DFT to verify every phase against a carried
+// checksum vector, without any extra communication.
+//
+//   - 1-D/2-D FFT stages: the unnormalized forward DFT satisfies
+//     Σ_k X_k = n·x_0 per column, so summed over the local brick
+//     Σ(output) == n·Σ(input plane at index 0 along the transform axis).
+//     The inverse (1/n fused into the kernel) satisfies Σ(output) == Σ(input
+//     plane). Both sides are rank-local because compute stages always span
+//     the transform axis. The phase input is retained (pooled snapshot), so
+//     a failed invariant re-executes only that phase; corruption that
+//     outlasts two re-executions surfaces as ErrIntegrity with rank+phase
+//     context.
+//
+//   - Reshapes: every packed block carries its element sum out-of-band in
+//     the message envelope (Buf.SumRe/SumIm), recomputed after unpack with
+//     the identical summation, so any in-flight flip of the payload — which
+//     cannot touch the envelope — is caught at the receiver even when the
+//     transport's checksummed envelopes are disabled.
+//
+// The modeled cost of the fused snapshot+sum and verification passes is
+// charged through the device's Retain/Checksum kernels; the transport layer
+// charges the envelope passes itself when Checksums are on, so the work is
+// never double-billed.
+
+// sumEps is the IEEE-754 double machine epsilon, anchoring the rounding-noise
+// floor of the invariant threshold.
+const sumEps = 2.220446049250313e-16
+
+// brickSum is the checksum vector of one brick region: the compensated
+// complex sum plus the magnitude statistics the adaptive mismatch threshold
+// needs. Summation is Kahan-compensated so the accumulated rounding error
+// stays O(ε·Σ|x|) independent of element count — the silent-corruption flips
+// (relative 2⁻¹² of one element and up) then sit orders of magnitude above
+// the noise floor at every brick size the experiments run.
+type brickSum struct {
+	re, im   float64 // compensated sums
+	reC, imC float64 // Kahan compensation terms
+	absSum   float64 // Σ(|re|+|im|) over the scanned region
+	absMax   float64 // largest |re|,|im| seen
+}
+
+func (b *brickSum) add(v complex128) {
+	re, im := real(v), imag(v)
+	b.re = kahan(b.re, re, &b.reC)
+	b.im = kahan(b.im, im, &b.imC)
+	are, aim := math.Abs(re), math.Abs(im)
+	b.absSum += are + aim
+	if are > b.absMax {
+		b.absMax = are
+	}
+	if aim > b.absMax {
+		b.absMax = aim
+	}
+}
+
+// kahan performs one compensated-summation step.
+func kahan(sum, v float64, comp *float64) float64 {
+	y := v - *comp
+	t := sum + y
+	*comp = (t - sum) - y
+	return t
+}
+
+// sumAll sums the whole brick.
+func sumAll(d []complex128) brickSum {
+	var b brickSum
+	for _, v := range d {
+		b.add(v)
+	}
+	return b
+}
+
+// sumPlane sums the elements with index 0 along the transform axis of a
+// brick with local sizes s (row-major).
+func sumPlane(d []complex128, s [3]int, axis int) brickSum {
+	var b brickSum
+	switch axis {
+	case 0:
+		for _, v := range d[:s[1]*s[2]] {
+			b.add(v)
+		}
+	case 1:
+		for i0 := 0; i0 < s[0]; i0++ {
+			row := d[i0*s[1]*s[2]:]
+			for _, v := range row[:s[2]] {
+				b.add(v)
+			}
+		}
+	default: // axis 2
+		for i0 := 0; i0 < s[0]; i0++ {
+			for i1 := 0; i1 < s[1]; i1++ {
+				b.add(d[(i0*s[1]+i1)*s[2]])
+			}
+		}
+	}
+	return b
+}
+
+// sumLine sums the (k1=0, k2=0) line of a slab (the 2-D stage transforms
+// axes 1 and 2, so its zero-frequency region is one element per plane).
+func sumLine(d []complex128, s [3]int) brickSum {
+	var b brickSum
+	for i0 := 0; i0 < s[0]; i0++ {
+		b.add(d[i0*s[1]*s[2]])
+	}
+	return b
+}
+
+// invariantOK evaluates |Σout − scale·Σin| against the adaptive threshold:
+// the configured relative tolerance anchored at the largest output element,
+// floored by the accumulated rounding noise of the compensated sums and the
+// transform itself (both O(ε·Σ|x|)).
+func invariantOK(pre, post brickSum, scale, tol float64) bool {
+	dRe := post.re - scale*pre.re
+	dIm := post.im - scale*pre.im
+	thr := tol*(1+post.absMax) + 64*sumEps*(post.absSum+scale*pre.absSum)
+	return math.Abs(dRe)+math.Abs(dIm) <= thr
+}
+
+// envelopeSum computes a packed block's out-of-band checksum vector
+// (Buf.SumRe/SumIm). The identical sequential summation is recomputed at
+// unpack, so a clean delivery reproduces the envelope bit-for-bit and any
+// in-flight payload flip is an exact mismatch — no tolerance needed.
+func envelopeSum[T any](b *mpisim.Buf, data []T) {
+	var s brickSum
+	switch d := any(data).(type) {
+	case []complex128:
+		for _, v := range d {
+			s.add(v)
+		}
+	case []float64:
+		for _, v := range d {
+			s.re = kahan(s.re, v, &s.reC)
+		}
+	}
+	b.SumRe, b.SumIm = s.re, s.im
+	b.Summed = true
+}
+
+// verifyEnvelope recomputes a received block's sum against its envelope.
+// Mismatch means the payload changed in flight past every transport defense:
+// the sender's link is suspected and the exchange fails with ErrIntegrity —
+// the block cannot be repaired locally and a reshape cannot be re-executed
+// from retained input the way a compute phase can.
+func verifyEnvelope[T any](rs *reshapePlan, gi int, b mpisim.Buf) {
+	if !b.Summed {
+		return
+	}
+	g := rs.group
+	ctr := g.IntegrityCounters()
+	ctr.InvariantChecks.Add(1)
+	var s brickSum
+	switch d := any(bufSlice[T](b)).(type) {
+	case []complex128:
+		for _, v := range d {
+			s.add(v)
+		}
+	case []float64:
+		for _, v := range d {
+			s.re = kahan(s.re, v, &s.reC)
+		}
+	}
+	if s.re != b.SumRe || s.im != b.SumIm {
+		ctr.InvariantFailures.Add(1)
+		srcW := g.WorldRank(gi)
+		g.NoteSuspicion(srcW, 1)
+		g.Fail(fmt.Errorf("core: %w: rank %d: block from rank %d failed envelope sum after reshape %s",
+			mpisim.ErrIntegrity, g.WorldRank(g.Rank()), srcW, rs.label))
+	}
+}
+
+// chargeEnvelopeVerify charges the ABFT envelope verification pass over the
+// received bytes of one exchange. The transport's checksummed delivery
+// charges its own verify pass over the same read stream, so the work is only
+// billed here when the envelopes are the sole line of defense.
+func (rs *reshapePlan) chargeEnvelopeVerify(bytes int) {
+	if rs.group == nil || bytes == 0 {
+		return
+	}
+	if ic := rs.group.Integrity(); ic.Invariants && !ic.Checksums {
+		rs.group.ChargeChecksumVerify(bytes)
+	}
+}
+
+// fftStageABFT is fftStage with the ABFT phase invariant armed: snapshot the
+// phase input (fused with its plane sum), execute, verify the DFT-linearity
+// invariant over the output brick, and re-execute the phase from the
+// retained input on mismatch — at most twice before the corruption surfaces
+// as ErrIntegrity. Every execution attempt consumes one brick-corruption
+// probe, so injected Brick faults with Count=1 are healed by the first
+// re-execution and Count≥3 exhausts the budget deterministically.
+func (p *Plan) fftStageABFT(st stage, fields []*Field, dir fft.Direction) float64 {
+	box := st.myBox
+	s := box.Sizes()
+	g := p.dev.Model()
+	vol := box.Volume()
+	bytes := 16 * vol
+	ctr := p.comm.IntegrityCounters()
+
+	var kernelCost float64
+	var axis, n, batch int
+	var strided bool
+	if st.kind == stageFFT2D {
+		kernelCost = g.FFT2DCost(s[1], s[2], s[0], false)
+	} else {
+		axis = st.axis
+		n = s[axis]
+		if n != p.global[axis] {
+			panic(fmt.Sprintf("core: fft stage axis %d spans %d of %d", axis, n, p.global[axis]))
+		}
+		batch = vol / n
+		strided = axis != 2 && !p.opts.Contiguous
+	}
+	chargeKernel := func() {
+		if st.kind == stageFFT2D {
+			p.dev.FFT2D(s[1], s[2], s[0], false)
+		} else {
+			p.dev.FFT1D(n, batch, strided)
+		}
+	}
+
+	// Steady-state per-entry charges: the retained snapshot fused with the
+	// pre-sum, the kernel itself, and the verification sum over the output.
+	// Batch entries beyond the first ride the overlap pipeline through the
+	// returned per-entry cost, exactly like the plain path.
+	p.dev.Retain(bytes)
+	chargeKernel()
+	p.dev.Checksum(bytes)
+	per := kernelCost + g.RetainCost(bytes) + g.ChecksumCost(bytes)
+
+	if fields[0].Phantom() {
+		// Cost-only: identical virtual charges, one probe per entry so fault
+		// plans keep deterministic coordinates, no numerics and no retries.
+		ctr.InvariantChecks.Add(int64(len(fields)))
+		for range fields {
+			p.comm.BrickProbe()
+		}
+		return per
+	}
+
+	// Forward stages check Σ(out) == n·Σ(in plane); the inverse kernels fuse
+	// the 1/n scaling, collapsing the factor to 1.
+	scale := float64(n)
+	if st.kind == stageFFT2D {
+		scale = float64(s[1] * s[2])
+	}
+	if dir == fft.Inverse {
+		scale = 1
+	}
+	tol := p.comm.Integrity().Tol()
+	me := p.comm.WorldRank(p.comm.Rank())
+
+	retained := getBuf[complex128](vol)
+	for _, f := range fields {
+		copy(retained, f.Data)
+		var pre brickSum
+		if st.kind == stageFFT2D {
+			pre = sumLine(f.Data, s)
+		} else {
+			pre = sumPlane(f.Data, s, axis)
+		}
+		for attempt := 0; ; attempt++ {
+			if st.kind == stageFFT2D {
+				for i0 := 0; i0 < s[0]; i0++ {
+					plane := f.Data[i0*s[1]*s[2] : (i0+1)*s[1]*s[2]]
+					fft.Transform2D(plane, s[1], s[2], dir)
+				}
+			} else {
+				localFFT1D(st.fplan, f.Data, box, axis, p.opts.Contiguous, dir)
+			}
+			if hit, seed := p.comm.BrickProbe(); hit {
+				mpisim.CorruptComplex(f.Data, seed)
+			}
+			post := sumAll(f.Data)
+			ctr.InvariantChecks.Add(1)
+			if invariantOK(pre, post, scale, tol) {
+				break
+			}
+			ctr.InvariantFailures.Add(1)
+			p.comm.NoteSuspicion(me, 1)
+			if attempt >= 2 {
+				putBuf(retained)
+				p.comm.Fail(fmt.Errorf("core: %w: rank %d: phase invariant still failing after %d re-executions",
+					mpisim.ErrIntegrity, me, attempt))
+			}
+			// Phase-scoped re-execution from the retained input: restore the
+			// snapshot and charge the restore pass plus the repeated kernel
+			// and verification.
+			ctr.PhaseReexecs.Add(1)
+			copy(f.Data, retained)
+			p.dev.Retain(bytes)
+			chargeKernel()
+			p.dev.Checksum(bytes)
+		}
+	}
+	putBuf(retained)
+	return per
+}

@@ -320,12 +320,16 @@ func recycleRecv[T any](b mpisim.Buf) {
 	}
 }
 
-// packSendBufs builds the per-member send buffers, fusing the batch.
+// packSendBufs builds the per-member send buffers, fusing the batch. With
+// ABFT invariants on, every packed block carries its element sum in the
+// message envelope (verified after unpack) and the fused sum pass is charged
+// — unless the transport's checksummed envelopes already bill that stream.
 func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.Buf, int) {
 	gs := rs.group.Size()
 	bufs := make([]mpisim.Buf, gs)
 	totalBytes := 0
 	eb := elemBytes[T]()
+	ic := rs.group.Integrity()
 	for gi := 0; gi < gs; gi++ {
 		sb := rs.sends[gi]
 		vol := sb.Volume()
@@ -350,17 +354,25 @@ func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.B
 		// is made anywhere on the path.
 		bufs[gi] = mkBuf(data, 0)
 		bufs[gi].Move = true
+		if ic.Invariants {
+			envelopeSum(&bufs[gi], data)
+		}
+	}
+	if ic.Invariants && !ic.Checksums {
+		rs.group.ChargeChecksum(totalBytes)
 	}
 	return bufs, totalBytes
 }
 
-// unpackBufInto scatters one member's received buffer into the new arrays.
+// unpackBufInto scatters one member's received buffer into the new arrays,
+// verifying the block's ABFT envelope sum first when one is attached.
 func unpackBufInto[T any](rs *reshapePlan, newData [][]T, gi int, buf mpisim.Buf) {
 	rb := rs.recvs[gi]
 	vol := rb.Volume()
 	if vol == 0 || newData == nil {
 		return
 	}
+	verifyEnvelope[T](rs, gi, buf)
 	src := bufSlice[T](buf)
 	off := 0
 	for fi := range newData {
@@ -423,6 +435,7 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 			recycleRecv[T](recv[gi])
 		}
 	}
+	rs.chargeEnvelopeVerify(recvBytes)
 	if !useW {
 		ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
 	}
@@ -490,5 +503,10 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, re
 	if !blocking {
 		g.Waitall(sreqs)
 	}
+	recvTotal := 0
+	for gi := range rs.recvs {
+		recvTotal += eb * rs.recvs[gi].Volume() * len(datas)
+	}
+	rs.chargeEnvelopeVerify(recvTotal)
 	return newData
 }

@@ -37,13 +37,31 @@ const (
 	// Drop loses the next message the rank sends (P2P) or its blocks of the
 	// next collective. Receivers observe ErrExchangeTimeout.
 	Drop
-	// Corrupt flips the next message the rank sends (detected on receipt,
-	// modeling checksum verification): receivers observe ErrMessageCorrupt.
+	// Corrupt models *detected* corruption: the next message the rank sends
+	// is flagged bad-on-arrival, as if a transport CRC had already caught it,
+	// and receivers observe ErrMessageCorrupt without any payload bit
+	// actually changing. It exercises error propagation, not data integrity.
+	// Contrast CorruptSilent, which really flips delivered payload bits and
+	// relies on the integrity subsystem (checksummed envelopes, ABFT phase
+	// invariants) to notice. CorruptDetected is the preferred alias.
 	Corrupt
 	// Kill fails the rank at the op: it raises ErrRankFailed and the whole
 	// world aborts with that error, unblocking every survivor.
 	Kill
+	// CorruptSilent flips real payload bits in delivered buffers — a silent
+	// data corruption. Nothing is flagged: unless checksummed transport or
+	// ABFT invariants are enabled, the corrupted bytes reach the caller.
+	// Count is the number of consecutive corrupt transmissions of the same
+	// op (retransmits included), so Count above the retransmit budget defeats
+	// the transport layer. With Brick set the event instead corrupts the
+	// rank's local data between transform phases (device-memory flip) rather
+	// than a wire block.
+	CorruptSilent
 )
+
+// CorruptDetected is the preferred name for the legacy Corrupt kind: the
+// corruption is modeled as already detected by the transport.
+const CorruptDetected = Corrupt
 
 func (k Kind) String() string {
 	switch k {
@@ -59,6 +77,8 @@ func (k Kind) String() string {
 		return "corrupt"
 	case Kill:
 		return "kill"
+	case CorruptSilent:
+		return "corrupt-silent"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -73,7 +93,15 @@ type Event struct {
 
 	Delay  float64 // Stall/Jitter: virtual seconds added per op
 	Factor float64 // Degrade: cost multiplier (> 1)
-	Count  int     // Stall/Jitter/Degrade: ops affected (min 1)
+	// Count: Stall/Jitter/Degrade — ops affected (min 1); CorruptSilent —
+	// consecutive corrupt transmissions of the op (wire) or consecutive
+	// corrupt execution attempts (Brick).
+	Count int
+	// Brick marks a CorruptSilent event as device-memory corruption: it
+	// targets the victim's per-rank *probe* counter (advanced once per
+	// transform-phase execution attempt) instead of the exchange op counter,
+	// flipping bits in the rank's local brick between phases.
+	Brick bool
 }
 
 func (e Event) span() int {
@@ -104,11 +132,19 @@ type Effect struct {
 	Corrupt bool
 	Stall   float64 // extra virtual seconds before the op
 	Factor  float64 // communication cost multiplier (0 or 1 = unchanged)
+	// Silent is the number of consecutive silently-corrupted transmissions
+	// of this op (0 = payload delivered intact). The first Silent sends —
+	// the original plus Silent−1 retransmits — all arrive bit-flipped.
+	Silent int
+	// SilentSeed seeds the deterministic flip coordinates (which element,
+	// which mantissa bit) so corrupted runs replay exactly.
+	SilentSeed uint64
 }
 
 // Zero reports whether the effect perturbs nothing.
 func (e Effect) Zero() bool {
-	return !e.Kill && !e.Drop && !e.Corrupt && e.Stall == 0 && (e.Factor == 0 || e.Factor == 1)
+	return !e.Kill && !e.Drop && !e.Corrupt && e.Silent == 0 &&
+		e.Stall == 0 && (e.Factor == 0 || e.Factor == 1)
 }
 
 // Active reports whether the plan has any events at all (worlds skip the
@@ -139,6 +175,11 @@ func (p *Plan) Effect(rank, op int) Effect {
 			if op == e.Op {
 				eff.Corrupt = true
 			}
+		case CorruptSilent:
+			if op == e.Op && !e.Brick {
+				eff.Silent += e.span()
+				eff.SilentSeed = FlipSeed(rank, op)
+			}
 		case Stall, Jitter:
 			if op < e.Op+e.span() {
 				eff.Stall += e.Delay
@@ -155,6 +196,36 @@ func (p *Plan) Effect(rank, op int) Effect {
 	return eff
 }
 
+// BrickEffect reports whether the rank's op'th transform-phase execution
+// attempt is silently corrupted by a Brick CorruptSilent event, and the seed
+// of the deterministic flip. An event at Op with Count=c corrupts attempts
+// Op..Op+c−1, so c consecutive execution attempts (the original plus c−1
+// re-executions) all come out flipped — c above the re-execution budget
+// defeats phase-scoped recovery.
+func (p *Plan) BrickEffect(rank, op int) (bool, uint64) {
+	if p == nil {
+		return false, 0
+	}
+	for _, e := range p.Events {
+		if e.Kind != CorruptSilent || !e.Brick || e.Rank != rank {
+			continue
+		}
+		if op >= e.Op && op < e.Op+e.span() {
+			return true, FlipSeed(rank, op)
+		}
+	}
+	return false, 0
+}
+
+// FlipSeed derives the deterministic bit-flip coordinates of a silent
+// corruption at a (rank, op) coordinate. Pure function of its inputs, so the
+// same schedule flips the same bit of the same element in every run.
+func FlipSeed(rank, op int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "flip/%d/%d", rank, op)
+	return h.Sum64()
+}
+
 // Fingerprint returns a short content hash of the schedule, printed by chaos
 // runs so "identical seed ⇒ identical fault schedule" is checkable from logs.
 func (p *Plan) Fingerprint() string {
@@ -165,6 +236,11 @@ func (p *Plan) Fingerprint() string {
 	fmt.Fprintf(h, "t=%g;", p.Timeout)
 	for _, e := range p.Events {
 		fmt.Fprintf(h, "%d/%d/%d/%g/%g/%d;", e.Kind, e.Rank, e.Op, e.Delay, e.Factor, e.Count)
+		// Brick events grow the encoding rather than change it, so plans
+		// without them keep their pre-integrity fingerprints.
+		if e.Brick {
+			fmt.Fprintf(h, "b;")
+		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -192,9 +268,18 @@ type Config struct {
 	Kills    int // ranks killed mid-exchange
 	Stalls   int // straggler episodes
 	Drops    int // lost messages
-	Corrupts int // corrupted messages
+	Corrupts int // corrupted messages (detected on receipt)
 	Degrades int // degraded-link episodes
 	Jitters  int // latency noise episodes
+
+	// SilentCorrupts is the number of silent wire corruptions: payload bits
+	// of a sent block really flip (Count 1–2 consecutive transmissions, so a
+	// default retransmit budget of 2 always recovers them).
+	SilentCorrupts int
+	// BrickCorrupts is the number of silent device-memory corruptions
+	// between transform phases (single-attempt, so one phase re-execution
+	// recovers them).
+	BrickCorrupts int
 
 	// Timeout overrides the default per-exchange bound (1.0 virtual second).
 	Timeout float64
@@ -237,6 +322,12 @@ func Generate(seed int64, size int, cfg Config) *Plan {
 	})
 	add(cfg.Jitters, func() Event {
 		return Event{Kind: Jitter, Delay: timeout / 100 * rng.Float64(), Count: 1 + rng.Intn(4)}
+	})
+	add(cfg.SilentCorrupts, func() Event {
+		return Event{Kind: CorruptSilent, Count: 1 + rng.Intn(2)}
+	})
+	add(cfg.BrickCorrupts, func() Event {
+		return Event{Kind: CorruptSilent, Brick: true, Count: 1}
 	})
 	// Deterministic order independent of the add sequence above.
 	sort.SliceStable(p.Events, func(i, j int) bool {

@@ -135,6 +135,24 @@ func (d *Device) Copy(bytes int) {
 	d.charge("copy", d.model.CopyCost(bytes), bytes)
 }
 
+// Checksum charges a checksum/sum-reduction pass over the given bytes (ABFT
+// invariant evaluation, envelope sums fused into pack/unpack streams).
+func (d *Device) Checksum(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	d.charge("checksum", d.model.ChecksumCost(bytes), bytes)
+}
+
+// Retain charges the fused snapshot+sum pass that copies a phase input aside
+// for phase-scoped re-execution while computing its checksum vector.
+func (d *Device) Retain(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	d.charge("retain", d.model.RetainCost(bytes), bytes)
+}
+
 // Pointwise charges an elementwise kernel (scaling, spectral convolution).
 func (d *Device) Pointwise(bytes int) {
 	if bytes == 0 {

@@ -27,6 +27,18 @@ type GPU struct {
 	MemBW float64
 	// PCIeBW is the device↔host copy bandwidth.
 	PCIeBW float64
+
+	// ChecksumBW is the effective bandwidth of the fused checksum /
+	// sum-reduction kernels of the integrity layer. Checksums ride the read
+	// stream of the pack/unpack kernels already touching the data, so only
+	// the reduction tail and extra ALU work are exposed — the effective rate
+	// is well above MemBW. Zero falls back to MemBW (standalone pass).
+	ChecksumBW float64
+	// ChecksumOverhead is the fixed cost per checksum/sum pass (reduction
+	// tail + bookkeeping; far below a full kernel launch because the pass
+	// fuses into kernels that launch anyway). Zero falls back to
+	// KernelLaunch/16.
+	ChecksumOverhead float64
 }
 
 // fftFlops returns the classic 5·n·log2(n) flop count of one complex
@@ -82,6 +94,43 @@ func (g *GPU) PackCost(bytes int) float64 {
 		return 0
 	}
 	return g.KernelLaunch + 2*float64(bytes)/g.MemBW
+}
+
+// ChecksumRate returns the effective (bandwidth, fixed overhead) the
+// checksum/sum passes run at, with the documented fallbacks applied. Callers
+// building closed-form cost parameters (model.CollParams) use this so the
+// predictor and the simulator price integrity work identically.
+func (g *GPU) ChecksumRate() (bw, overhead float64) {
+	bw = g.ChecksumBW
+	if bw <= 0 {
+		bw = g.MemBW
+	}
+	overhead = g.ChecksumOverhead
+	if overhead <= 0 {
+		overhead = g.KernelLaunch / 16
+	}
+	return bw, overhead
+}
+
+// ChecksumCost returns the virtual time of one checksum or sum-reduction
+// pass over the given bytes (integrity layer: transport envelopes, ABFT
+// brick sums).
+func (g *GPU) ChecksumCost(bytes int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	bw, oh := g.ChecksumRate()
+	return oh + float64(bytes)/bw
+}
+
+// RetainCost returns the virtual time of snapshotting a brick for
+// phase-scoped re-execution fused with its sum pass (read + write + reduce).
+func (g *GPU) RetainCost(bytes int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	bw, oh := g.ChecksumRate()
+	return oh + 2.5*float64(bytes)/bw
 }
 
 // ReorderCost returns the virtual time of an on-device transposition kernel

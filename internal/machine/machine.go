@@ -177,6 +177,9 @@ func Summit() *Model {
 			StridedSetup:   28e-6, // per-call spike of strided cuFFT (Fig. 10)
 			MemBW:          780e9, // effective HBM2 bandwidth for pack/unpack
 			PCIeBW:         14e9,
+
+			ChecksumBW:       1.5e12, // fused into pack/unpack read streams
+			ChecksumOverhead: 0.1e-6,
 		},
 	}
 }
@@ -222,6 +225,9 @@ func Spock() *Model {
 			StridedSetup:   30e-6,
 			MemBW:          820e9,
 			PCIeBW:         20e9,
+
+			ChecksumBW:       1.6e12,
+			ChecksumOverhead: 0.12e-6,
 		},
 	}
 }
@@ -270,6 +276,9 @@ func Frontier() *Model {
 			StridedSetup:   26e-6,
 			MemBW:          1.3e12,
 			PCIeBW:         32e9,
+
+			ChecksumBW:       2.6e12,
+			ChecksumOverhead: 0.1e-6,
 		},
 	}
 }

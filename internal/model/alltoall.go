@@ -67,6 +67,25 @@ type CollParams struct {
 	// Pipeline is the fragment pipeline depth of hierarchical collectives
 	// (machine.Model.CollPipeline); values below 1 mean store-and-forward.
 	Pipeline float64
+	// ChecksumBW and ChecksumOverhead price the integrity layer's transport
+	// envelopes: one checksum pass over the sent bytes at pack time and one
+	// verify pass over the received bytes at delivery. Zero ChecksumBW
+	// disables the term — the closed forms then describe a checksum-free
+	// exchange.
+	ChecksumBW       float64
+	ChecksumOverhead float64
+}
+
+// ChecksumTime is the integrity layer's per-exchange envelope cost: a
+// checksum compute pass over sendBytes plus a verify pass over recvBytes.
+// The term is schedule-independent — every all-to-all variant moves the same
+// payload — so AlltoallTime adds it on top of each closed form rather than
+// folding it in, and algorithm selection is unaffected.
+func ChecksumTime(sendBytes, recvBytes float64, cp CollParams) float64 {
+	if cp.ChecksumBW <= 0 || sendBytes+recvBytes <= 0 {
+		return 0
+	}
+	return 2*cp.ChecksumOverhead + (sendBytes+recvBytes)/cp.ChecksumBW
 }
 
 // AlltoallShape describes one exchange as the model sees it: group size P,
@@ -249,20 +268,28 @@ func NodeAwareAlltoallTime(s AlltoallShape, cp CollParams) float64 {
 	return math.Max(wire, nvlink)
 }
 
-// AlltoallTime evaluates the closed form of one schedule.
+// AlltoallTime evaluates the closed form of one schedule, plus the
+// schedule-independent checksum envelope term when CollParams enables it.
 func AlltoallTime(a AlltoallAlgo, s AlltoallShape, cp CollParams) float64 {
+	var t float64
 	switch a {
 	case AlltoallPairwise:
-		return PairwiseAlltoallTime(s, cp)
+		t = PairwiseAlltoallTime(s, cp)
 	case AlltoallRing:
-		return RingAlltoallTime(s, cp)
+		t = RingAlltoallTime(s, cp)
 	case AlltoallBruck:
-		return BruckAlltoallTime(s, cp)
+		t = BruckAlltoallTime(s, cp)
 	case AlltoallNodeAware:
-		return NodeAwareAlltoallTime(s, cp)
+		t = NodeAwareAlltoallTime(s, cp)
 	default:
-		return LinearAlltoallTime(s, cp)
+		t = LinearAlltoallTime(s, cp)
 	}
+	if t > 0 {
+		sn := s.norm()
+		vol := float64(sn.Dst) * sn.Bytes
+		t += ChecksumTime(vol, vol, cp)
+	}
+	return t
 }
 
 // PickAlltoall returns the schedule with the smallest predicted time for

@@ -28,11 +28,23 @@ var (
 	// stalled past the timeout becomes a bounded error instead of a
 	// deadlock.
 	ErrExchangeTimeout = errors.New("exchange timeout")
+
+	// ErrRetransmitExhausted marks a checksummed block that stayed corrupt
+	// through the whole per-exchange retransmit budget: the link is feeding
+	// the receiver garbage faster than the transport can repair it.
+	ErrRetransmitExhausted = errors.New("retransmit budget exhausted")
+
+	// ErrIntegrity marks an ABFT phase invariant that kept failing after
+	// phase-scoped re-execution: the data is provably corrupt and cannot be
+	// repaired locally. Raised by the plan layer with rank+phase context.
+	ErrIntegrity = errors.New("integrity violation")
 )
 
 // IsFault reports whether err wraps one of the fault sentinels.
 func IsFault(err error) bool {
-	return errors.Is(err, ErrRankFailed) || errors.Is(err, ErrMessageCorrupt) || errors.Is(err, ErrExchangeTimeout)
+	return errors.Is(err, ErrRankFailed) || errors.Is(err, ErrMessageCorrupt) ||
+		errors.Is(err, ErrExchangeTimeout) || errors.Is(err, ErrRetransmitExhausted) ||
+		errors.Is(err, ErrIntegrity)
 }
 
 // faultPanic is the panic payload raised at a fault site. World.abort

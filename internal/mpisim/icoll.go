@@ -47,6 +47,7 @@ func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
 	m := c.Model()
 
 	eff := c.faultEnter("MPI_Ialltoallv")
+	c.chargeSendChecksums(send)
 	in := collIn{clock: st.clock, send: make([]Buf, size), lost: eff.Drop}
 	if eff.Factor > 1 {
 		in.factor = eff.Factor
@@ -54,10 +55,17 @@ func (c *Comm) Ialltoallv(send []Buf) *CollRequest {
 	totalBytes := 0
 	for i, b := range send {
 		in.send[i] = b.clone()
-		if eff.Corrupt && i != c.rank {
+		totalBytes += b.Bytes()
+		if i == c.rank {
+			continue
+		}
+		if eff.Corrupt {
 			in.send[i].Corrupt = true
 		}
-		totalBytes += b.Bytes()
+		if eff.Silent > 0 {
+			in.send[i].silent = eff.Silent
+			in.send[i].flipSeed = mixSeed(eff.SilentSeed, i)
+		}
 	}
 	out := c.core.rv.exchange(w, c.rank, in, func(ins []collIn) []collOut {
 		t0 := maxClock(ins)
@@ -155,5 +163,6 @@ func (c *Comm) WaitColl(r *CollRequest) []Buf {
 				ErrMessageCorrupt, c.WorldRank(c.rank), c.WorldRank(s)))
 		}
 	}
+	c.deliverIntegrity(r.recv, "MPI_Ialltoallv")
 	return r.recv
 }

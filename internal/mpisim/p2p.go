@@ -42,6 +42,10 @@ func (c *Comm) postSend(dst, tag int, b Buf) (portDone float64, cost float64) {
 	w.checkFailed()
 	eff := c.faultEnter("send")
 	st := c.state()
+	if w.opts.Integrity.Checksums {
+		// Envelope compute rides the sender's clock before the post.
+		c.chargeChecksum("checksum", b.Bytes())
+	}
 	srcW, dstW := c.WorldRank(c.rank), c.WorldRank(dst)
 	mc := w.model.MsgCostOn(b.Bytes(), w.topo.Path(srcW, dstW), w.nodes, b.Loc == machine.Device, w.opts.GPUAware, machine.ClassP2P)
 	if eff.Factor > 1 {
@@ -72,6 +76,13 @@ func (c *Comm) postSend(dst, tag int, b Buf) (portDone float64, cost float64) {
 	}
 	if eff.Corrupt {
 		m.buf.Corrupt = true
+	}
+	if eff.Silent > 0 {
+		// Silent corruption: carried as transport-private metadata until the
+		// delivery boundary, where it is either repaired (checksummed
+		// transport) or really flipped into the payload.
+		m.buf.silent = eff.Silent
+		m.buf.flipSeed = eff.SilentSeed
 	}
 	mb := w.mail[dstW]
 	mb.mu.Lock()
@@ -189,6 +200,16 @@ func (c *Comm) completeRecv(m *message) {
 	if m.buf.Corrupt {
 		c.raiseFault(fmt.Errorf("mpisim: %w: rank %d: payload from rank %d failed verification",
 			ErrMessageCorrupt, c.WorldRank(c.rank), c.WorldRank(m.src)))
+	}
+	w := c.core.world
+	if w.opts.Integrity.Checksums {
+		c.chargeChecksum("checksum_verify", m.buf.Bytes())
+		w.integ.ChecksumChecks.Add(1)
+		if m.buf.silent > 0 {
+			c.recoverBlock(m.src, &m.buf, "recv")
+		}
+	} else if m.buf.silent > 0 {
+		m.buf.corruptPayload()
 	}
 }
 

@@ -49,6 +49,19 @@ type Buf struct {
 	// receiving side detects it (modeling transport checksums) and raises
 	// ErrMessageCorrupt rather than silently delivering bad data.
 	Corrupt bool
+	// SumRe/SumIm carry the ABFT envelope of the block — the sum of its
+	// elements, computed at pack time by the plan layer — when Summed is
+	// set. The envelope travels out-of-band (it is metadata, not payload),
+	// so a wire flip corrupts the bytes but not the carried sum, and the
+	// receiver's unpack-side invariant catches the mismatch.
+	SumRe, SumIm float64
+	Summed       bool
+
+	// silent is the number of consecutive silently-corrupted transmissions
+	// of this block (fault injection); flipSeed locates the deterministic
+	// bit flip. Transport-private: set at send, consumed at delivery.
+	silent   int
+	flipSeed uint64
 }
 
 // Elems reports the number of elements in the buffer.
@@ -88,11 +101,15 @@ func (b Buf) clone() Buf {
 	case b.Data != nil:
 		d := make([]complex128, len(b.Data))
 		copy(d, b.Data)
-		return Buf{Data: d, Loc: b.Loc, Corrupt: b.Corrupt}
+		c := b
+		c.Data = d
+		return c
 	case b.Real != nil:
 		d := make([]float64, len(b.Real))
 		copy(d, b.Real)
-		return Buf{Real: d, Loc: b.Loc, Corrupt: b.Corrupt}
+		c := b
+		c.Real = d
+		return c
 	default:
 		return b
 	}
@@ -124,6 +141,10 @@ type Options struct {
 	// contention is then computed structurally from concurrent flows instead
 	// of the machine model's phenomenological saturation factor.
 	Fabric *topo.Fabric
+	// Integrity enables checksummed transport envelopes and (read by the
+	// plan layer) ABFT phase invariants. The zero value disables both:
+	// silently corrupted payloads then reach the caller unrepaired.
+	Integrity IntegrityConfig
 }
 
 // World owns the ranks of one simulated job.
@@ -146,6 +167,11 @@ type World struct {
 	rvs  []*rendezvous // all rendezvous, woken on abort
 
 	shared sync.Map // key → *sharedSlot: once-per-world memoized values
+
+	// Integrity accounting: what the checksummed transport and the ABFT
+	// invariants did, plus per-rank suspicion scores for the health ledger.
+	integ     IntegrityCounters
+	suspicion []int64 // per world rank, atomic
 }
 
 // sharedSlot backs World.Shared.
@@ -175,6 +201,9 @@ type rankState struct {
 	// calls) — the coordinate system of fault plans. Deterministic: it
 	// depends only on the rank's own operation order.
 	ops int
+	// probes counts transform-phase execution attempts — the coordinate
+	// system of Brick CorruptSilent events (Comm.BrickProbe).
+	probes int
 }
 
 type message struct {
@@ -225,6 +254,8 @@ func NewWorld(m *machine.Model, size int, opts Options) *World {
 		opts:   opts,
 		states: make([]*rankState, size),
 		mail:   make([]*mailbox, size),
+
+		suspicion: make([]int64, size),
 	}
 	for i := range w.states {
 		w.states[i] = &rankState{}

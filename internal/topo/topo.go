@@ -66,6 +66,33 @@ func Permutation(perm []int) Placement {
 // Kind reports the placement policy.
 func (p Placement) Kind() Kind { return p.kind }
 
+// Slots resolves the explicit rank→GPU-slot map this placement induces for a
+// job of the given size (slot s lives on node s/GPUsPerNode). Health
+// accounting uses it to attribute per-rank evidence to physical GPU slots,
+// whose identity survives engine rebuilds under different placements. A
+// permutation whose length does not match the size resolves as block — the
+// world construction it feeds rejects such a placement anyway.
+func (p Placement) Slots(m *machine.Model, size int) []int {
+	slots := make([]int, size)
+	gpn := m.GPUsPerNode
+	switch {
+	case p.kind == KindRoundRobin:
+		// Node n's residents are n, n+nn, n+2nn, … so rank r is resident
+		// index r/nn on node r%nn.
+		nn := (size + gpn - 1) / gpn
+		for r := range slots {
+			slots[r] = (r%nn)*gpn + r/nn
+		}
+	case p.kind == KindPermutation && len(p.perm) == size:
+		copy(slots, p.perm)
+	default: // block
+		for r := range slots {
+			slots[r] = r
+		}
+	}
+	return slots
+}
+
 func (p Placement) String() string {
 	switch p.kind {
 	case KindBlock:

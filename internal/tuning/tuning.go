@@ -107,6 +107,20 @@ func Predict(c *mpisim.Comm, global [3]int, cand Candidate) float64 {
 		}
 		t *= algoFactor(c, n, gs, cand.Algo)
 	}
+	// Integrity overhead: with transport checksums enabled, every reshape
+	// pays one envelope-compute pass over the sent bytes and one verify pass
+	// over the received bytes. The term rides on top of the bandwidth model
+	// so candidate rankings reflect the integrity tax the simulator charges.
+	if c.Integrity().Checksums {
+		bw, oh := m.GPU.ChecksumRate()
+		cp := model.CollParams{ChecksumBW: bw, ChecksumOverhead: oh}
+		perRank := 16 * float64(n) / float64(pi)
+		reshapes := 3.0
+		if cand.Decomp == core.DecompSlabs {
+			reshapes = 2
+		}
+		t += reshapes * model.ChecksumTime(perRank, perRank, cp)
+	}
 	return t
 }
 
@@ -129,6 +143,9 @@ func algoFactor(c *mpisim.Comm, n, gs int, algo core.CollAlgo) float64 {
 		IntraBW: m.IntraBW, InterLat: m.InterLatency, IntraLat: m.IntraLatency,
 		MemBW:    m.GPU.MemBW,
 		LeaderBW: m.NodeInjectionBW, Pipeline: float64(m.CollPipeline),
+	}
+	if c.Integrity().Checksums {
+		cp.ChecksumBW, cp.ChecksumOverhead = m.GPU.ChecksumRate()
 	}
 	interFrac := 1 - float64(m.GPUsPerNode)/float64(gs)
 	if interFrac < 0 {
