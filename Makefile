@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-serve smoke-serve chaos chaos-sdc examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-precision bench-serve smoke-serve chaos chaos-sdc examples experiments quick-experiments
 
 all: build vet test
 
@@ -52,6 +52,12 @@ bench-exchange:
 # (the BENCH_PR7.json regime check). Used by CI.
 bench-topo:
 	go test -run 'TestTopoSmoke' -count=1 -v ./internal/bench/
+
+# Wire-precision gate: fp32/fp16 compressed exchanges on the staged path —
+# speedup over fp64 and measured accuracy against the analytic bound (the
+# BENCH_PR9.json regime check). Used by CI.
+bench-precision:
+	go run ./cmd/fftbench -exp precision -quick
 
 # Coalescing-service throughput vs one-plan-per-request under identical
 # open-loop load (the BENCH_PR2.json numbers).

@@ -26,8 +26,14 @@ func main() {
 		phase = flag.Bool("phase", false, "print a size × ranks phase diagram")
 		bw    = flag.Float64("bw", 23.5e9, "model bandwidth B in bytes/s (paper: 23.5 GB/s)")
 		lat   = flag.Float64("lat", 1e-6, "model latency L in seconds (paper: 1 µs)")
+		wire  = flag.String("wire", "fp64", "on-wire precision of interior exchanges: fp64|fp32|fp16")
 	)
 	flag.Parse()
+	wp, err := parseWire(*wire)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fftplan:", err)
+		os.Exit(2)
+	}
 	params := heffte.ModelParams{Latency: *lat, Bandwidth: *bw}
 
 	if *phase {
@@ -48,12 +54,31 @@ func main() {
 	fmt.Fprintf(tw, "pencil grid\t%d × %d\n", e.P, e.Q)
 	fmt.Fprintf(tw, "T_slabs (eq. 2)\t%s\n", heffte.FormatSeconds(ts))
 	fmt.Fprintf(tw, "T_pencils (eq. 3)\t%s\n", heffte.FormatSeconds(tp))
+	if wp != heffte.WireFp64 {
+		elem := float64(wp.ComplexBytes())
+		tsc := heffte.SlabTimeElem(total, *ranks, elem, params)
+		tpc := heffte.PencilTimeElem(total, e.P, e.Q, elem, params)
+		fmt.Fprintf(tw, "T_slabs @%s\t%s (bound %.1e)\n", wp, heffte.FormatSeconds(tsc), heffte.WireErrorBound(wp, 1))
+		fmt.Fprintf(tw, "T_pencils @%s\t%s (bound %.1e)\n", wp, heffte.FormatSeconds(tpc), heffte.WireErrorBound(wp, 2))
+	}
 	rec := "pencils"
 	if heffte.PreferSlabs([3]int{*n, *n, *n}, e.P, e.Q, params) {
 		rec = "slabs"
 	}
 	fmt.Fprintf(tw, "recommended decomposition\t%s\n", rec)
 	tw.Flush()
+}
+
+func parseWire(w string) (heffte.WirePrecision, error) {
+	switch w {
+	case "fp64", "":
+		return heffte.WireFp64, nil
+	case "fp32":
+		return heffte.WireFp32, nil
+	case "fp16":
+		return heffte.WireFp16, nil
+	}
+	return heffte.WireFp64, fmt.Errorf("unknown wire precision %q", w)
 }
 
 func printPhase(params heffte.ModelParams) {

@@ -33,6 +33,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the virtual timeline as Chrome trace-event JSON to this file")
 		algo       = flag.String("algo", "auto", "alltoallv schedule: auto|linear|pairwise|ring|bruck|node-aware")
 		placement  = flag.String("placement", "block", "rank→GPU placement: block|round-robin")
+		wire       = flag.String("wire", "fp64", "on-wire precision of interior exchanges: fp64|fp32|fp16")
 	)
 	flag.Parse()
 
@@ -42,6 +43,10 @@ func main() {
 		os.Exit(2)
 	}
 	if opts.Comm.Algo, err = parseAlgo(*algo); err != nil {
+		fmt.Fprintln(os.Stderr, "fftsim:", err)
+		os.Exit(2)
+	}
+	if opts.Comm.Wire, err = parseWire(*wire); err != nil {
 		fmt.Fprintln(os.Stderr, "fftsim:", err)
 		os.Exit(2)
 	}
@@ -97,8 +102,12 @@ func main() {
 		}
 	})
 
-	fmt.Printf("machine=%s ranks=%d nodes=%d transform=%d³ decomp=%v backend=%v gpu-aware=%v batch=%d\n",
+	fmt.Printf("machine=%s ranks=%d nodes=%d transform=%d³ decomp=%v backend=%v gpu-aware=%v batch=%d",
 		mdl.Name, *ranks, mdl.Nodes(*ranks), *n, resolved, opts.Backend, !*noAware, *batch)
+	if opts.Comm.Wire != heffte.WireFp64 {
+		fmt.Printf(" wire=%s", opts.Comm.Wire)
+	}
+	fmt.Println()
 	fmt.Printf("exchanges per transform: %d\n", exchanges)
 	if opts.Backend == heffte.BackendAlltoallv && len(phases) > 0 {
 		fmt.Printf("comm:")
@@ -107,6 +116,9 @@ func main() {
 				continue
 			}
 			fmt.Printf(" %s=%s", ph.Label, ph.Algo)
+			if ph.Wire != heffte.WireFp64 {
+				fmt.Printf("@%s", ph.Wire)
+			}
 			if ph.Schedule != "" && ph.Schedule != "flat" {
 				fmt.Printf("[%s]", ph.Schedule)
 			}
@@ -185,6 +197,18 @@ func parseAlgo(algo string) (heffte.CollectiveAlgo, error) {
 		return heffte.AlgoNodeAware, nil
 	}
 	return heffte.AlgoAuto, fmt.Errorf("unknown collective algorithm %q", algo)
+}
+
+func parseWire(w string) (heffte.WirePrecision, error) {
+	switch w {
+	case "fp64", "":
+		return heffte.WireFp64, nil
+	case "fp32":
+		return heffte.WireFp32, nil
+	case "fp16":
+		return heffte.WireFp16, nil
+	}
+	return heffte.WireFp64, fmt.Errorf("unknown wire precision %q", w)
 }
 
 func parsePlacement(p string) (heffte.Placement, error) {

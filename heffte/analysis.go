@@ -25,6 +25,18 @@ func SlabTime(n, pi int, p ModelParams) float64 { return model.SlabTime(n, pi, p
 // PencilTime is the pencil counterpart on a pg×qg grid (equation 3).
 func PencilTime(n, pg, qg int, p ModelParams) float64 { return model.PencilTime(n, pg, qg, p) }
 
+// SlabTimeElem is SlabTime generalized over the on-wire element size in
+// bytes — 16 for double-complex, 8/4 for fp32/fp16 compressed exchanges.
+func SlabTimeElem(n, pi int, elem float64, p ModelParams) float64 {
+	return model.SlabTimeElem(n, pi, elem, p)
+}
+
+// PencilTimeElem is PencilTime generalized over the on-wire element size in
+// bytes (see SlabTimeElem).
+func PencilTimeElem(n, pg, qg int, elem float64, p ModelParams) float64 {
+	return model.PencilTimeElem(n, pg, qg, elem, p)
+}
+
 // PreferSlabs reports whether the model predicts slabs beat pencils for this
 // geometry (the Fig. 5 regions).
 func PreferSlabs(global [3]int, pg, qg int, p ModelParams) bool {

@@ -77,6 +77,9 @@ type (
 	// CommPhase reports the collective configuration one reshape phase
 	// resolved to (see Plan.CommPhases).
 	CommPhase = core.CommPhase
+	// WirePrecision selects the on-wire element format of intermediate
+	// reshape payloads (WithWirePrecision): full doubles, fp32 or fp16.
+	WirePrecision = core.WirePrecision
 )
 
 // Decompositions.
@@ -115,6 +118,23 @@ const (
 	OverlapOn   = core.OverlapOn
 	OverlapOff  = core.OverlapOff
 )
+
+// Wire precisions for intermediate reshape payloads (WithWirePrecision).
+// WireFp64 is exact; WireFp32/WireFp16 halve/quarter the bytes in flight at
+// ~6e-8 / ~4.9e-4 relative rounding per compressed exchange. Input/output
+// reshapes and the Alltoallw backend always ship full precision.
+const (
+	WireFp64 = core.WireFp64
+	WireFp32 = core.WireFp32
+	WireFp16 = core.WireFp16
+)
+
+// WireErrorBound returns the analytic relative-error bound of shipping the
+// given number of exchanges at wire precision w (zero for WireFp64) — the
+// quantity an accuracy budget (WithAccuracyBudget) is compared against.
+func WireErrorBound(w WirePrecision, exchanges int) float64 {
+	return core.WireErrorBound(w, exchanges)
+}
 
 // NewPlan collectively creates a plan; all ranks pass identical Config.
 func NewPlan(c *Comm, cfg Config) (*Plan, error) { return core.NewPlan(c, cfg) }

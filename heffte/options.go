@@ -75,6 +75,24 @@ func WithOverlap(on bool) PlanOption {
 	}
 }
 
+// WithWirePrecision selects the on-wire element format of the plan's
+// interior reshape payloads: WireFp32 halves and WireFp16 quarters the bytes
+// every intermediate all-to-all puts on the wire, with the down/up
+// conversions fused into the pack/unpack kernels. Input/output reshapes and
+// the Alltoallw backend always ship full precision.
+func WithWirePrecision(w WirePrecision) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Comm.Wire = w }
+}
+
+// WithAccuracyBudget caps the analytic relative-error bound of wire
+// compression: plan creation fails when the configured wire precision's
+// WireErrorBound over the plan's compressed exchanges exceeds eps, and the
+// tuner (CandidatesWithBudget) uses it to gate compressed candidates. Zero
+// means no constraint.
+func WithAccuracyBudget(eps float64) PlanOption {
+	return func(cfg *Config) { cfg.Opts.AccuracyBudget = eps }
+}
+
 // NewPlanWith collectively creates a plan for a global grid from functional
 // options; all ranks pass identical arguments.
 func NewPlanWith(c *Comm, global [3]int, opts ...PlanOption) (*Plan, error) {

@@ -120,7 +120,7 @@ func engineWorldOpts(cfg Config, fp *heffte.FaultPlan, place heffte.Placement) h
 // newEngine starts the world and creates the plan on every rank. It returns
 // after plan creation succeeded (or failed) everywhere. A non-nil fault plan
 // arms the world with a deterministic fault schedule (chaos testing).
-func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig, slots []int) (*engine, error) {
+func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig, budget float64, slots []int) (*engine, error) {
 	e := &engine{
 		key:     k,
 		size:    k.ranks,
@@ -152,7 +152,7 @@ func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heff
 			if ferr := c.Protect(func() {
 				plan, err = heffte.NewPlan(c, heffte.Config{
 					Global: k.global,
-					Opts:   heffte.Options{Decomp: k.decomp, Comm: comm},
+					Opts:   heffte.Options{Decomp: k.decomp, Comm: comm, AccuracyBudget: budget},
 				})
 			}); ferr != nil {
 				err = ferr

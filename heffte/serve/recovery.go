@@ -268,7 +268,7 @@ func (s *Server) runFresh(req *Request) error {
 		var perr error
 		ferr := c.Protect(func() {
 			var plan *heffte.Plan
-			plan, perr = heffte.NewPlan(c, heffte.Config{Global: k.global, Opts: heffte.Options{Decomp: k.decomp, Comm: s.cfg.Comm}})
+			plan, perr = heffte.NewPlan(c, heffte.Config{Global: k.global, Opts: heffte.Options{Decomp: k.decomp, Comm: s.cfg.Comm, AccuracyBudget: s.cfg.AccuracyBudget}})
 			if perr != nil {
 				return
 			}

@@ -77,10 +77,15 @@ type Config struct {
 	// -no-gpu-aware flag; the default is GPU-aware on).
 	NoGPUAware bool
 	// Comm configures the collective exchanges of every engine plan:
-	// all-to-all algorithm, chunk count, and pack/exchange overlap. The zero
-	// value is fully automatic; what each shape resolved to shows up in
-	// Stats (EngineStats.Comm).
+	// all-to-all algorithm, chunk count, pack/exchange overlap, and wire
+	// precision (Comm.Wire compresses interior exchange payloads to fp32 or
+	// fp16). The zero value is fully automatic; what each shape resolved to
+	// shows up in Stats (EngineStats.Comm).
 	Comm heffte.CommConfig
+	// AccuracyBudget caps the analytic relative-error bound of wire
+	// compression: engine plan creation fails when Comm.Wire's bound over the
+	// shape's compressed exchanges exceeds it. Zero means no constraint.
+	AccuracyBudget float64
 	// Placement maps engine ranks onto GPU slots (default block placement).
 	Placement heffte.Placement
 	// Fabric, when non-nil, attaches an explicit switch hierarchy to every
@@ -211,7 +216,7 @@ func New(cfg Config) *Server {
 		case cfg.EngineFaults != nil:
 			fp = cfg.EngineFaults(k.String(), s.nextBuild(k.String()))
 		}
-		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp, place), cfg.Comm, slots)
+		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp, place), cfg.Comm, cfg.AccuracyBudget, slots)
 	})
 	s.sched = sched.New[*Request](sched.Config{
 		Workers:  cfg.Workers,
@@ -330,6 +335,9 @@ func (st Stats) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "    comm:")
 			for _, ph := range e.Comm {
 				fmt.Fprintf(w, " %s=%s", ph.Label, ph.Algo)
+				if ph.Wire != heffte.WireFp64 {
+					fmt.Fprintf(w, "@%s", ph.Wire)
+				}
 				if ph.Schedule != "" && ph.Schedule != "flat" {
 					fmt.Fprintf(w, "[%s]", ph.Schedule)
 				}

@@ -28,6 +28,14 @@ func Tune(c *Comm, cfg Config, cands []TuneCandidate, opts TuneOptions) ([]TuneR
 // decompositions, all exchange flavours of Table I, both data layouts.
 func DefaultCandidates() []TuneCandidate { return tuning.DefaultCandidates() }
 
+// CandidatesWithBudget extends DefaultCandidates with fp32/fp16 wire-compressed
+// variants whose analytic error bound (WireErrorBound over the decomposition's
+// interior exchanges) fits within the given accuracy budget. A zero budget
+// admits no compressed candidates.
+func CandidatesWithBudget(budget float64) []TuneCandidate {
+	return tuning.CandidatesWithBudget(budget)
+}
+
 // Best returns the fastest measured result (or the best predicted one when
 // nothing was measured).
 func Best(results []TuneResult) TuneResult { return tuning.Best(results) }

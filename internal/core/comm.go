@@ -256,6 +256,10 @@ type CommPhase struct {
 	// sums), so per-phase checksum compute/verify passes are priced into
 	// virtual time.
 	Checksummed bool
+	// Wire is the on-wire element precision this phase's payloads ship at:
+	// the configured compressed format for interior reshapes, WireFp64 for
+	// input/output reshapes and datatype (Alltoallw) exchanges.
+	Wire WirePrecision
 }
 
 // CommPhases reports the resolved per-phase communication configuration for
@@ -273,8 +277,9 @@ func (p *Plan) CommPhases() []CommPhase {
 			cp.GroupSize = rs.group.Size()
 			cp.Schedule = "flat"
 			cp.Checksummed = rs.group.Integrity().Enabled()
+			cp.Wire = rs.wireOf(p.opts)
 			if p.opts.Backend == BackendAlltoallv {
-				algo, chunks, overlap := rs.resolve(p.opts, 16, 1)
+				algo, chunks, overlap := rs.resolve(p.opts, WireElemSize(cp.Wire, 16), 1)
 				cp.Algo = collAlgoOf(algo)
 				cp.Chunks = chunks
 				cp.Overlap = overlap
@@ -294,7 +299,11 @@ func (p *Plan) CommPhases() []CommPhase {
 // schedule in a single shot, or the chunked (optionally pipelined) variant
 // of the same exchange.
 func runReshapeAlltoallv[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool) [][]T {
-	algo, chunks, overlap := rs.resolve(ctx.opts, elemBytes[T](), len(datas))
+	// Algorithm selection and chunking see the on-wire element size: a
+	// compressed exchange sits at a different point of the (bytes, latency)
+	// regime map than its full-precision twin.
+	web := WireElemSize(rs.wireOf(ctx.opts), elemBytes[T]())
+	algo, chunks, overlap := rs.resolve(ctx.opts, web, len(datas))
 	if chunks <= 1 {
 		return runReshapeSingle(rs, ctx, datas, phantom, recycleIn, algo)
 	}
@@ -305,19 +314,22 @@ func runReshapeAlltoallv[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phant
 // is timing- and trace-identical to the legacy path.
 func runReshapeSingle[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool, algo mpisim.Algo) [][]T {
 	ctx.Check()
-	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	bufs, sendBytes := packSendBufs(rs, ctx, datas, phantom)
 	recycleDatas(datas, recycleIn)
 	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
 	recv := rs.group.AlltoallvWith(bufs, algo)
 	newData := allocNewArrays[T](rs, len(datas), phantom)
-	recvBytes := 0
+	recvBytes, recvFull := 0, 0
+	wire := rs.wireOf(ctx.opts)
 	eb := elemBytes[T]()
+	web := WireElemSize(wire, eb)
 	for gi := range recv {
 		vol := rs.recvs[gi].Volume()
 		if vol == 0 {
 			continue
 		}
-		recvBytes += eb * vol * len(datas)
+		recvBytes += web * vol * len(datas)
+		recvFull += eb * vol * len(datas)
 		if newData != nil {
 			unpackBufInto(rs, newData, gi, recv[gi])
 			recycleRecv[T](recv[gi])
@@ -325,6 +337,9 @@ func runReshapeSingle[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom,
 	}
 	rs.chargeEnvelopeVerify(recvBytes)
 	ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
+	if wire != WireFp64 {
+		ctx.dev.Convert(recvFull)
+	}
 	return newData
 }
 
@@ -340,13 +355,15 @@ func runReshapeSingle[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom,
 func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, recycleIn bool, algo mpisim.Algo, chunks int, overlap bool) [][]T {
 	g := rs.group
 	gs := g.Size()
+	wire := rs.wireOf(ctx.opts)
 	eb := elemBytes[T]()
+	web := WireElemSize(wire, eb)
 	newData := allocNewArrays[T](rs, len(datas), phantom)
 	ic := g.Integrity()
 
 	packChunk := func(ci int) ([]mpisim.Buf, int) {
 		bufs := make([]mpisim.Buf, gs)
-		total := 0
+		total, full := 0, 0
 		for gi := 0; gi < gs; gi++ {
 			cb := chunkBox(rs.sends[gi], ci, chunks)
 			vol := cb.Volume()
@@ -355,9 +372,10 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 				continue
 			}
 			elems := vol * len(datas)
-			total += eb * elems
+			total += web * elems
+			full += eb * elems
 			if phantom {
-				bufs[gi] = mkBuf[T](nil, elems)
+				bufs[gi] = mkBuf[T](nil, elems, wire)
 				continue
 			}
 			data := getBuf[T](elems)
@@ -366,11 +384,15 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 				tensor.Pack(d, rs.from, cb, data[off:off+vol])
 				off += vol
 			}
-			bufs[gi] = mkBuf(data, 0)
+			bufs[gi] = mkBuf(data, 0, wire)
 			bufs[gi].Move = true
 			if ic.Invariants {
 				envelopeSum(&bufs[gi], data)
 			}
+			quantizeSlice(wire, data)
+		}
+		if wire != WireFp64 {
+			ctx.dev.Convert(full)
 		}
 		if ic.Invariants && !ic.Checksums {
 			g.ChargeChecksum(total)
@@ -382,14 +404,15 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 		return bufs, total
 	}
 	unpackChunk := func(ci int, recv []mpisim.Buf) int {
-		total := 0
+		total, full := 0, 0
 		for gi := range recv {
 			cb := chunkBox(rs.recvs[gi], ci, chunks)
 			vol := cb.Volume()
 			if vol == 0 {
 				continue
 			}
-			total += eb * vol * len(datas)
+			total += web * vol * len(datas)
+			full += eb * vol * len(datas)
 			if newData == nil {
 				continue
 			}
@@ -403,6 +426,9 @@ func runReshapeChunked[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom
 			recycleRecv[T](recv[gi])
 		}
 		rs.chargeEnvelopeVerify(total)
+		if wire != WireFp64 {
+			ctx.dev.Convert(full)
+		}
 		return total
 	}
 

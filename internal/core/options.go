@@ -168,6 +168,13 @@ type CommConfig struct {
 	Chunks int
 	// Overlap controls pack/exchange overlap of the chunked path.
 	Overlap OverlapMode
+	// Wire selects the on-wire precision of intermediate reshape payloads
+	// (see wire.go). The zero value (WireFp64) ships full doubles; WireFp32
+	// and WireFp16 compress the interior all-to-alls to half or a quarter of
+	// the bytes, fusing the conversions into the pack/unpack kernels. Input
+	// and output reshapes, and the Alltoallw datatype backend, always run at
+	// full precision.
+	Wire WirePrecision
 }
 
 // Options tunes a plan. The zero value is the paper's best general setting:
@@ -192,6 +199,14 @@ type Options struct {
 	ShrinkThreshold int
 
 	// Comm tunes the collective layer: all-to-all schedule, pipeline chunk
-	// count and pack/exchange overlap. The zero value is fully automatic.
+	// count, pack/exchange overlap, and wire precision. The zero value is
+	// fully automatic at full precision.
 	Comm CommConfig
+
+	// AccuracyBudget, when positive, is the maximum analytic relative-error
+	// bound the caller tolerates from wire compression. Plan creation fails
+	// with ErrBadConfig when the configured wire precision's WireErrorBound
+	// over the plan's compressed exchanges exceeds it, and the tuner only
+	// enumerates compressed candidates that fit it. Zero means no constraint.
+	AccuracyBudget float64
 }

@@ -138,7 +138,7 @@ func (rs *reshapePlan) postAsync(ctx execCtx, f *Field) *mpisim.CollRequest {
 	if rs.group == nil {
 		return nil
 	}
-	bufs, sendBytes := packSendBufs(rs, [][]complex128{f.Data}, f.Phantom())
+	bufs, sendBytes := packSendBufs(rs, ctx, [][]complex128{f.Data}, f.Phantom())
 	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
 	return rs.group.Ialltoallv(bufs)
 }
@@ -152,19 +152,25 @@ func (rs *reshapePlan) completeAsync(ctx execCtx, f *Field, req *mpisim.CollRequ
 	if !f.Phantom() {
 		newData = [][]complex128{getBuf[complex128](rs.to.Volume())}
 	}
-	recvBytes := 0
+	wire := rs.wireOf(ctx.opts)
+	web := WireElemSize(wire, 16)
+	recvBytes, recvFull := 0, 0
 	for gi := range recv {
 		vol := rs.recvs[gi].Volume()
 		if vol == 0 {
 			continue
 		}
-		recvBytes += 16 * vol
+		recvBytes += web * vol
+		recvFull += 16 * vol
 		if newData != nil {
 			unpackBufInto(rs, newData, gi, recv[gi])
 			recycleRecv[complex128](recv[gi])
 		}
 	}
 	ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
+	if wire != WireFp64 {
+		ctx.dev.Convert(recvFull)
+	}
 	f.Box = rs.to
 	if newData != nil {
 		if recycle {

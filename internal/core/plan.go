@@ -165,6 +165,15 @@ func NewPlan(c *mpisim.Comm, cfg Config) (*Plan, error) {
 	if err := p.buildStages(inBoxes, outBoxes); err != nil {
 		return nil, err
 	}
+	// An accuracy budget caps the analytic error bound of wire compression;
+	// the check needs the built stages (the bound scales with the number of
+	// compressed exchanges).
+	if b := cfg.Opts.AccuracyBudget; b > 0 {
+		if bound := p.WireBound(); bound > b {
+			return nil, fmt.Errorf("core: %w: %s wire over %d compressed exchanges bounds relative error at %.3g, above the accuracy budget %.3g",
+				ErrBadConfig, cfg.Opts.Comm.Wire, p.CompressedExchanges(), bound, b)
+		}
+	}
 	return p, nil
 }
 
@@ -185,12 +194,16 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 	cur := inBoxes
 	tagSeq := 0
 
-	addReshape := func(target []tensor.Box3, label string) {
+	// interior marks reshapes strictly between compute stages, the ones
+	// eligible for wire compression (input/output reshapes move caller data
+	// and always ship full precision — see wire.go).
+	addReshape := func(target []tensor.Box3, label string, interior bool) {
 		tagSeq++
 		if boxesEqual(cur, target) {
 			return
 		}
 		rs := buildReshape(p.comm, cur, target, label, tagSeq)
+		rs.interior = interior
 		p.stages = append(p.stages, stage{kind: stageReshape, label: "reshape " + label, rs: rs})
 		cur = target
 	}
@@ -206,13 +219,13 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 
 	switch p.decomp {
 	case DecompPencils:
-		addReshape(pad(pencilBoxes(p.global, 0, p.p, p.q)), "pencil-x")
+		addReshape(pad(pencilBoxes(p.global, 0, p.p, p.q)), "pencil-x", false)
 		addFFT1D(0)
-		addReshape(pad(pencilBoxes(p.global, 1, p.p, p.q)), "pencil-y")
+		addReshape(pad(pencilBoxes(p.global, 1, p.p, p.q)), "pencil-y", true)
 		addFFT1D(1)
-		addReshape(pad(pencilBoxes(p.global, 2, p.p, p.q)), "pencil-z")
+		addReshape(pad(pencilBoxes(p.global, 2, p.p, p.q)), "pencil-z", true)
 		addFFT1D(2)
-		addReshape(outBoxes, "output")
+		addReshape(outBoxes, "output", false)
 
 	case DecompBricks:
 		// The brick variant (fftMPI/SWFFT style): intermediate grids are
@@ -220,22 +233,22 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		// phases exchanges within smaller groups that share a coordinate of
 		// the brick grid — cheaper phases at the price of more of them.
 		a, b, c2 := p.brickGrid()
-		addReshape(pad(tensor.NewProcGrid(1, a*b, c2).Decompose(p.global)), "brick-x")
+		addReshape(pad(tensor.NewProcGrid(1, a*b, c2).Decompose(p.global)), "brick-x", false)
 		addFFT1D(0)
-		addReshape(pad(tensor.NewProcGrid(a, 1, b*c2).Decompose(p.global)), "brick-y")
+		addReshape(pad(tensor.NewProcGrid(a, 1, b*c2).Decompose(p.global)), "brick-y", true)
 		addFFT1D(1)
-		addReshape(pad(tensor.NewProcGrid(a*b, c2, 1).Decompose(p.global)), "brick-z")
+		addReshape(pad(tensor.NewProcGrid(a*b, c2, 1).Decompose(p.global)), "brick-z", true)
 		addFFT1D(2)
-		addReshape(outBoxes, "output")
+		addReshape(outBoxes, "output", false)
 
 	case DecompSlabs:
 		// Slabs along axis 0: local 2-D FFTs over axes (1,2), one exchange
 		// to slabs along axis 1, then 1-D FFTs along axis 0.
-		addReshape(pad(slabBoxes(p.global, 0, p.lp)), "slab-0")
+		addReshape(pad(slabBoxes(p.global, 0, p.lp)), "slab-0", false)
 		p.stages = append(p.stages, stage{kind: stageFFT2D, label: "fft planes", myBox: cur[p.comm.Rank()]})
-		addReshape(pad(slabBoxes(p.global, 1, p.lp)), "slab-1")
+		addReshape(pad(slabBoxes(p.global, 1, p.lp)), "slab-1", true)
 		addFFT1D(0)
-		addReshape(outBoxes, "output")
+		addReshape(outBoxes, "output", false)
 
 	default:
 		return fmt.Errorf("core: %w: unresolved decomposition %v", ErrBadConfig, p.decomp)
@@ -346,9 +359,10 @@ func (p *Plan) CommVolumes() []ExchangeVolume {
 		}
 		v.GroupSize = rs.group.Size()
 		me := rs.myGroupRank
+		web := WireElemSize(rs.wireOf(p.opts), 16)
 		for gi := range rs.members {
-			sb := 16 * rs.sends[gi].Volume()
-			rb := 16 * rs.recvs[gi].Volume()
+			sb := web * rs.sends[gi].Volume()
+			rb := web * rs.recvs[gi].Volume()
 			if gi == me {
 				v.SelfBytes += sb
 				continue

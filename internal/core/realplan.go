@@ -147,12 +147,14 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 	// Complex pipeline on the half grid: z-pencils → y FFT → x FFT → out.
 	cur := zHalf
 	tag := 910
-	addReshape := func(target []tensor.Box3, label string) {
+	addReshape := func(target []tensor.Box3, label string, interior bool) {
 		tag++
 		if boxesEqual(cur, target) {
 			return
 		}
-		p.stages = append(p.stages, stage{kind: stageReshape, label: "reshape " + label, rs: buildReshape(c, cur, target, label, tag)})
+		rs := buildReshape(c, cur, target, label, tag)
+		rs.interior = interior
+		p.stages = append(p.stages, stage{kind: stageReshape, label: "reshape " + label, rs: rs})
 		cur = target
 	}
 	addFFT := func(axis int) {
@@ -162,11 +164,14 @@ func NewRealPlan(c *mpisim.Comm, cfg RealConfig) (*RealPlan, error) {
 			fplan: fft.NewPlan(half[axis]),
 		})
 	}
-	addReshape(pencilBoxes(half, 1, p.p, p.q), "r2c-pencil-y")
+	// The two pencil reshapes sit strictly between compute stages (the local
+	// r2c/c2r counts as one on the input side), so they are wire-compressible
+	// in both directions; the output reshape moves caller data.
+	addReshape(pencilBoxes(half, 1, p.p, p.q), "r2c-pencil-y", true)
 	addFFT(1)
-	addReshape(pencilBoxes(half, 0, p.p, p.q), "r2c-pencil-x")
+	addReshape(pencilBoxes(half, 0, p.p, p.q), "r2c-pencil-x", true)
 	addFFT(0)
-	addReshape(outBoxes, "r2c-output")
+	addReshape(outBoxes, "r2c-output", false)
 
 	// Precompute the reversed pipeline for InverseBatch.
 	p.revStages = make([]stage, 0, len(p.stages))
@@ -321,10 +326,12 @@ func (p *RealPlan) InverseBatch(fields []*Field) (_ []*RealField, err error) {
 
 // reverseReshape returns the reshape with source and destination swapped.
 // Group structure and member lists are identical; only the box roles flip.
+// The interior flag carries over: a reshape between compute stages stays
+// between compute stages in the reversed pipeline.
 func reverseReshape(rs *reshapePlan) *reshapePlan {
 	rev := &reshapePlan{
 		label: rs.label + "-rev", tag: rs.tag + 50,
-		from: rs.to, to: rs.from,
+		from: rs.to, to: rs.from, interior: rs.interior,
 		group: rs.group, members: rs.members, myGroupRank: rs.myGroupRank,
 	}
 	if rs.group != nil {

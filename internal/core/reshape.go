@@ -17,6 +17,12 @@ type reshapePlan struct {
 	label string
 	tag   int
 
+	// interior marks a reshape strictly between compute stages: its payloads
+	// are plan-internal staging data, so it is eligible for wire compression
+	// (see wire.go). Input/output reshapes move caller data and always ship
+	// full precision.
+	interior bool
+
 	from, to tensor.Box3 // this rank's boxes
 
 	// group is the subcommunicator of ranks touching this exchange; nil when
@@ -236,18 +242,19 @@ func (e execCtx) Check() {
 }
 
 // mkBuf wraps a typed slice (or a phantom element count) as a message
-// payload.
-func mkBuf[T any](data []T, phantomElems int) mpisim.Buf {
+// payload at the given wire precision. Phantom buffers carry the precision
+// too, so cost-only runs bill byte-identical transport charges.
+func mkBuf[T any](data []T, phantomElems int, wire WirePrecision) mpisim.Buf {
 	if data == nil {
 		var zero T
 		_, isReal := any(zero).(float64)
-		return mpisim.Buf{N: phantomElems, PhantomReal: isReal, Loc: machine.Device}
+		return mpisim.Buf{N: phantomElems, PhantomReal: isReal, Loc: machine.Device, Wire: wire}
 	}
 	switch d := any(data).(type) {
 	case []complex128:
-		return mpisim.Buf{Data: d, Loc: machine.Device}
+		return mpisim.Buf{Data: d, Loc: machine.Device, Wire: wire}
 	case []float64:
-		return mpisim.Buf{Real: d, Loc: machine.Device}
+		return mpisim.Buf{Real: d, Loc: machine.Device, Wire: wire}
 	default:
 		panic("core: unsupported payload element type")
 	}
@@ -324,11 +331,23 @@ func recycleRecv[T any](b mpisim.Buf) {
 // ABFT invariants on, every packed block carries its element sum in the
 // message envelope (verified after unpack) and the fused sum pass is charged
 // — unless the transport's checksummed envelopes already bill that stream.
-func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.Buf, int) {
+//
+// On a compressed wire (rs.wireOf != fp64) the down-conversion fuses into the
+// pack: each block is rounded to the wire grid in place after packing — the
+// exact values a receiver observes after the down/up round trip — every
+// buffer is stamped with the wire format so all transport costs price the
+// narrow bytes, and one convert pass over the full-width side of the stream
+// is charged. The envelope sum is taken before rounding (it rides the pack
+// kernel's full-precision read), so envelope verification under compression
+// is tolerance-based (see verifyEnvelope). The returned byte count is the
+// on-wire total — what the pack kernel writes.
+func packSendBufs[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom bool) ([]mpisim.Buf, int) {
 	gs := rs.group.Size()
 	bufs := make([]mpisim.Buf, gs)
-	totalBytes := 0
+	wire := rs.wireOf(ctx.opts)
 	eb := elemBytes[T]()
+	web := WireElemSize(wire, eb)
+	wireBytes, fullBytes := 0, 0
 	ic := rs.group.Integrity()
 	for gi := 0; gi < gs; gi++ {
 		sb := rs.sends[gi]
@@ -338,9 +357,10 @@ func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.B
 			continue
 		}
 		elems := vol * len(datas)
-		totalBytes += eb * elems
+		wireBytes += web * elems
+		fullBytes += eb * elems
 		if phantom {
-			bufs[gi] = mkBuf[T](nil, elems)
+			bufs[gi] = mkBuf[T](nil, elems, wire)
 			continue
 		}
 		data := getBuf[T](elems)
@@ -352,16 +372,34 @@ func packSendBufs[T any](rs *reshapePlan, datas [][]T, phantom bool) ([]mpisim.B
 		// Pack buffers are shipped with Move: the receiver takes ownership
 		// and returns them to the pool after unpacking, so no defensive copy
 		// is made anywhere on the path.
-		bufs[gi] = mkBuf(data, 0)
+		bufs[gi] = mkBuf(data, 0, wire)
 		bufs[gi].Move = true
 		if ic.Invariants {
 			envelopeSum(&bufs[gi], data)
 		}
+		quantizeSlice(wire, data)
+	}
+	if wire != WireFp64 {
+		ctx.dev.Convert(fullBytes)
 	}
 	if ic.Invariants && !ic.Checksums {
-		rs.group.ChargeChecksum(totalBytes)
+		rs.group.ChargeChecksum(wireBytes)
 	}
-	return bufs, totalBytes
+	return bufs, wireBytes
+}
+
+// quantizeSlice rounds a packed block to the wire grid in place (no-op for
+// fp64 and for phantom/nil slices).
+func quantizeSlice[T any](w WirePrecision, data []T) {
+	if w == WireFp64 || data == nil {
+		return
+	}
+	switch d := any(data).(type) {
+	case []complex128:
+		w.QuantizeComplex(d)
+	case []float64:
+		w.QuantizeReal(d)
+	}
 }
 
 // unpackBufInto scatters one member's received buffer into the new arrays,
@@ -406,7 +444,7 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 		return runReshapeAlltoallv(rs, ctx, datas, phantom, recycleIn)
 	}
 	useW := ctx.opts.Backend == BackendAlltoallw
-	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	bufs, sendBytes := packSendBufs(rs, ctx, datas, phantom)
 	recycleDatas(datas, recycleIn)
 	if !useW {
 		ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
@@ -422,14 +460,17 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 		panic("core: runReshapeCollective with P2P backend")
 	}
 	newData := allocNewArrays[T](rs, len(datas), phantom)
-	recvBytes := 0
+	recvBytes, recvFull := 0, 0
+	wire := rs.wireOf(ctx.opts)
 	eb := elemBytes[T]()
+	web := WireElemSize(wire, eb)
 	for gi := range recv {
 		vol := rs.recvs[gi].Volume()
 		if vol == 0 {
 			continue
 		}
-		recvBytes += eb * vol * len(datas)
+		recvBytes += web * vol * len(datas)
+		recvFull += eb * vol * len(datas)
 		if newData != nil {
 			unpackBufInto(rs, newData, gi, recv[gi])
 			recycleRecv[T](recv[gi])
@@ -438,6 +479,9 @@ func runReshapeCollective[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phan
 	rs.chargeEnvelopeVerify(recvBytes)
 	if !useW {
 		ctx.dev.Unpack(recvBytes, ctx.opts.Contiguous)
+		if wire != WireFp64 {
+			ctx.dev.Convert(recvFull)
+		}
 	}
 	return newData
 }
@@ -462,7 +506,7 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, re
 		}
 	}
 
-	bufs, sendBytes := packSendBufs(rs, datas, phantom)
+	bufs, sendBytes := packSendBufs(rs, ctx, datas, phantom)
 	recycleDatas(datas, recycleIn)
 	ctx.dev.Pack(sendBytes, ctx.opts.Contiguous)
 
@@ -480,7 +524,9 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, re
 	}
 
 	newData := allocNewArrays[T](rs, len(datas), phantom)
+	wire := rs.wireOf(ctx.opts)
 	eb := elemBytes[T]()
+	web := WireElemSize(wire, eb)
 
 	// The local share never touches the network.
 	if self := rs.sends[me]; !self.Empty() {
@@ -488,7 +534,7 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, re
 			unpackBufInto(rs, newData, me, bufs[me])
 			recycleRecv[T](bufs[me])
 		}
-		ctx.dev.Unpack(eb*self.Volume()*len(datas), ctx.opts.Contiguous)
+		ctx.dev.Unpack(web*self.Volume()*len(datas), ctx.opts.Contiguous)
 	}
 
 	// Drain arrivals in completion order (MPI_Waitany), unpacking each.
@@ -503,10 +549,14 @@ func runReshapeP2P[T any](rs *reshapePlan, ctx execCtx, datas [][]T, phantom, re
 	if !blocking {
 		g.Waitall(sreqs)
 	}
-	recvTotal := 0
+	recvTotal, recvFull := 0, 0
 	for gi := range rs.recvs {
-		recvTotal += eb * rs.recvs[gi].Volume() * len(datas)
+		recvTotal += web * rs.recvs[gi].Volume() * len(datas)
+		recvFull += eb * rs.recvs[gi].Volume() * len(datas)
 	}
 	rs.chargeEnvelopeVerify(recvTotal)
+	if wire != WireFp64 {
+		ctx.dev.Convert(recvFull)
+	}
 	return newData
 }

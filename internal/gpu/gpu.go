@@ -144,6 +144,17 @@ func (d *Device) Checksum(bytes int) {
 	d.charge("checksum", d.model.ChecksumCost(bytes), bytes)
 }
 
+// Convert charges a fused precision-conversion pass (wire compression:
+// float64↔float32/half casts riding inside a pack or unpack kernel). bytes is
+// the full-precision side of the stream; the narrow wire bytes are billed by
+// the Pack/Unpack charge the pass fuses into.
+func (d *Device) Convert(bytes int) {
+	if bytes == 0 {
+		return
+	}
+	d.charge("convert", d.model.ConvertCost(bytes), bytes)
+}
+
 // Retain charges the fused snapshot+sum pass that copies a phase input aside
 // for phase-scoped re-execution while computing its checksum vector.
 func (d *Device) Retain(bytes int) {

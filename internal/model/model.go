@@ -35,11 +35,20 @@ const elemBytes = 16 // double-complex
 //
 //	T_slabs = (Π−1)·(L + 16N/(B·Π²))
 func SlabTime(n int, pi int, p Params) float64 {
+	return SlabTimeElem(n, pi, elemBytes, p)
+}
+
+// SlabTimeElem is SlabTime generalized over the on-wire element size in
+// bytes: 16 for the paper's double-complex payloads, 8/4 for fp32/fp16
+// compressed exchanges (and 8 for full-precision real reshapes). Predictions
+// must price the bytes the wire actually carries for compressed candidates
+// to rank honestly.
+func SlabTimeElem(n, pi int, elem float64, p Params) float64 {
 	if pi <= 1 {
 		return 0
 	}
 	fp := float64(pi)
-	return (fp - 1) * (p.Latency + elemBytes*float64(n)/(p.Bandwidth*fp*fp))
+	return (fp - 1) * (p.Latency + elem*float64(n)/(p.Bandwidth*fp*fp))
 }
 
 // PencilTime evaluates equation (3): the two exchanges of a pencil-decomposed
@@ -47,11 +56,17 @@ func SlabTime(n int, pi int, p Params) float64 {
 //
 //	T_pencils = (P−1)·(L + 16N/(B·P·Π)) + (Q−1)·(L + 16N/(B·Q·Π))
 func PencilTime(n, pg, qg int, p Params) float64 {
+	return PencilTimeElem(n, pg, qg, elemBytes, p)
+}
+
+// PencilTimeElem is PencilTime generalized over the on-wire element size in
+// bytes (see SlabTimeElem).
+func PencilTimeElem(n, pg, qg int, elem float64, p Params) float64 {
 	pi := float64(pg) * float64(qg)
 	t := 0.0
 	for _, g := range []float64{float64(pg), float64(qg)} {
 		if g > 1 {
-			t += (g - 1) * (p.Latency + elemBytes*float64(n)/(p.Bandwidth*g*pi))
+			t += (g - 1) * (p.Latency + elem*float64(n)/(p.Bandwidth*g*pi))
 		}
 	}
 	return t

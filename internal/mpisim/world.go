@@ -56,6 +56,13 @@ type Buf struct {
 	// receiver's unpack-side invariant catches the mismatch.
 	SumRe, SumIm float64
 	Summed       bool
+	// Wire is the on-wire element format of the payload. Data and Real always
+	// hold float64/complex128 values (the compute precision), but a compressed
+	// buffer's elements have already been rounded to the wire grid at pack
+	// time, and Bytes — hence every transport, staging, and checksum cost —
+	// counts the compressed width. The zero value is WireFp64: full-width,
+	// exact.
+	Wire WirePrecision
 
 	// silent is the number of consecutive silently-corrupted transmissions
 	// of this block (fault injection); flipSeed locates the deterministic
@@ -76,13 +83,16 @@ func (b Buf) Elems() int {
 	}
 }
 
-// Bytes reports the payload size in bytes (16 per complex element, 8 per
-// real element).
+// Bytes reports the payload size in bytes at the buffer's wire precision
+// (16/8/4 per complex element, 8/4/2 per real element for fp64/fp32/fp16).
+// Every transport cost in the simulator — wire time, PCIe staging, checksum
+// charges, retransmissions, collective padding — derives from this, so
+// compressing a buffer reprices its entire journey.
 func (b Buf) Bytes() int {
 	if b.Real != nil || (b.Data == nil && b.PhantomReal) {
-		return 8 * b.Elems()
+		return b.Wire.RealBytes() * b.Elems()
 	}
-	return 16 * b.Elems()
+	return b.Wire.ComplexBytes() * b.Elems()
 }
 
 // Phantom reports whether the buffer carries no real data.

@@ -28,6 +28,11 @@ type Candidate struct {
 	// (CollAuto lets each reshape phase pick from the regime models).
 	// Ignored by the other backends.
 	Algo core.CollAlgo
+	// Wire selects the on-wire precision of the candidate's interior
+	// exchanges (core.WireFp64 ships full doubles). Compressed candidates
+	// only enter the sweep through CandidatesWithBudget, which gates them on
+	// the caller's accuracy budget.
+	Wire core.WirePrecision
 }
 
 func (c Candidate) String() string {
@@ -40,6 +45,9 @@ func (c Candidate) String() string {
 	}
 	if c.Backend == core.BackendAlltoallv && c.Algo != core.CollAuto {
 		s += "+" + c.Algo.String()
+	}
+	if c.Wire != core.WireFp64 {
+		s += "+" + c.Wire.String()
 	}
 	return s
 }
@@ -78,6 +86,44 @@ func DefaultCandidates() []Candidate {
 	return out
 }
 
+// interiorExchanges returns how many reshape phases of a decomposition are
+// wire-compressible: the exchanges strictly between compute stages (pencils
+// run x→y and y→z interior reshapes, slabs one; input/output reshapes always
+// ship full precision).
+func interiorExchanges(d core.Decomposition) int {
+	if d == core.DecompSlabs {
+		return 1
+	}
+	return 2
+}
+
+// CandidatesWithBudget returns DefaultCandidates extended with the
+// wire-precision dimension: for every accuracy budget the caller tolerates,
+// compressed (fp32/fp16) variants of the Alltoallv candidates whose analytic
+// error bound (core.WireErrorBound over the decomposition's interior
+// exchanges) fits the budget. A zero budget admits no compressed candidates
+// and the sweep degenerates to DefaultCandidates.
+func CandidatesWithBudget(budget float64) []Candidate {
+	out := DefaultCandidates()
+	if budget <= 0 {
+		return out
+	}
+	for _, d := range []core.Decomposition{core.DecompSlabs, core.DecompPencils} {
+		for _, w := range []core.WirePrecision{core.WireFp32, core.WireFp16} {
+			if core.WireErrorBound(w, interiorExchanges(d)) > budget {
+				continue
+			}
+			for _, contig := range []bool{false, true} {
+				out = append(out, Candidate{
+					Decomp: d, Backend: core.BackendAlltoallv,
+					Contiguous: contig, Wire: w,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // Predict evaluates the bandwidth model for a candidate on the given
 // machine/job geometry, returning the estimated communication time of one
 // transform. The decomposition selects the closed-form model; a forced
@@ -93,12 +139,16 @@ func Predict(c *mpisim.Comm, global [3]int, cand Candidate) float64 {
 	n := global[0] * global[1] * global[2]
 	pi := c.Size()
 	pg, qg := squareGrid(pi)
+	// The closed forms model the interior exchanges of the decomposition —
+	// exactly the ones a compressed wire shrinks — so they are evaluated at
+	// the candidate's on-wire element size.
+	wireElem := float64(core.WireElemSize(cand.Wire, 16))
 	var t float64
 	switch cand.Decomp {
 	case core.DecompSlabs:
-		t = model.SlabTime(n, pi, params)
+		t = model.SlabTimeElem(n, pi, wireElem, params)
 	default:
-		t = model.PencilTime(n, pg, qg, params)
+		t = model.PencilTimeElem(n, pg, qg, wireElem, params)
 	}
 	if cand.Backend == core.BackendAlltoallv && cand.Algo != core.CollAuto {
 		gs := qg
@@ -109,17 +159,26 @@ func Predict(c *mpisim.Comm, global [3]int, cand Candidate) float64 {
 	}
 	// Integrity overhead: with transport checksums enabled, every reshape
 	// pays one envelope-compute pass over the sent bytes and one verify pass
-	// over the received bytes. The term rides on top of the bandwidth model
-	// so candidate rankings reflect the integrity tax the simulator charges.
+	// over the received bytes — on the wire (possibly compressed) byte
+	// counts. The term rides on top of the bandwidth model so candidate
+	// rankings reflect the integrity tax the simulator charges.
 	if c.Integrity().Checksums {
 		bw, oh := m.GPU.ChecksumRate()
 		cp := model.CollParams{ChecksumBW: bw, ChecksumOverhead: oh}
-		perRank := 16 * float64(n) / float64(pi)
+		perRank := wireElem * float64(n) / float64(pi)
 		reshapes := 3.0
 		if cand.Decomp == core.DecompSlabs {
 			reshapes = 2
 		}
 		t += reshapes * model.ChecksumTime(perRank, perRank, cp)
+	}
+	// A compressed candidate pays the fused convert passes the simulator
+	// charges: one down-convert per pack and one up-convert per unpack over
+	// the full-precision bytes of each interior exchange.
+	if cand.Wire != core.WireFp64 {
+		cbw, coh := m.GPU.ConvertRate()
+		perRank := 16 * float64(n) / float64(pi)
+		t += float64(interiorExchanges(cand.Decomp)) * 2 * (coh + perRank/cbw)
 	}
 	return t
 }
@@ -263,6 +322,7 @@ func measure(c *mpisim.Comm, cfg core.Config, cand Candidate, opts Options) (flo
 	planCfg.Opts.Contiguous = cand.Contiguous
 	planCfg.Opts.ShrinkThreshold = cand.Shrink
 	planCfg.Opts.Comm.Algo = cand.Algo
+	planCfg.Opts.Comm.Wire = cand.Wire
 	p, err := core.NewPlan(c, planCfg)
 	if err != nil {
 		return 0, err

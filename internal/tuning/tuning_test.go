@@ -24,6 +24,74 @@ func TestDefaultCandidatesCoverTheSweep(t *testing.T) {
 	}
 }
 
+func TestCandidatesWithBudget(t *testing.T) {
+	base := len(DefaultCandidates())
+	countWire := func(cands []Candidate, w core.WirePrecision) int {
+		n := 0
+		for _, c := range cands {
+			if c.Wire == w {
+				n++
+			}
+		}
+		return n
+	}
+	// No budget: no compressed candidates enter the sweep.
+	if got := CandidatesWithBudget(0); len(got) != base {
+		t.Errorf("zero budget added candidates: %d vs %d", len(got), base)
+	}
+	// 1e-6 admits fp32 (bound ~4.8e-7 for pencils) but not fp16 (~3.9e-3):
+	// both decompositions × both layouts.
+	c6 := CandidatesWithBudget(1e-6)
+	if n := countWire(c6, core.WireFp32); n != 4 {
+		t.Errorf("budget 1e-6: %d fp32 candidates, want 4", n)
+	}
+	if n := countWire(c6, core.WireFp16); n != 0 {
+		t.Errorf("budget 1e-6: %d fp16 candidates, want 0", n)
+	}
+	// 1e-2 admits both compressed precisions.
+	c2 := CandidatesWithBudget(1e-2)
+	if n := countWire(c2, core.WireFp32); n != 4 {
+		t.Errorf("budget 1e-2: %d fp32 candidates, want 4", n)
+	}
+	if n := countWire(c2, core.WireFp16); n != 4 {
+		t.Errorf("budget 1e-2: %d fp16 candidates, want 4", n)
+	}
+	// A budget between the slab bound (1 exchange) and the pencil bound
+	// (2 exchanges) admits only the slab variant.
+	mid := core.WireErrorBound(core.WireFp32, 1) * 1.5
+	for _, c := range CandidatesWithBudget(mid) {
+		if c.Wire != core.WireFp64 && c.Decomp != core.DecompSlabs {
+			t.Errorf("budget %g admitted pencil candidate %v", mid, c)
+		}
+	}
+}
+
+// TestTuneBudgetSelectsCompressed is the acceptance check of the tuning
+// satellite: on a staged (non-GPU-aware) exchange-dominated shape, a sweep
+// that is allowed an accuracy budget must measure a compressed candidate as
+// the winner — the whole point of shipping fp32/fp16 on the wire.
+func TestTuneBudgetSelectsCompressed(t *testing.T) {
+	w := mpisim.NewWorld(machine.Summit(), 8, mpisim.Options{GPUAware: false})
+	var results []Result
+	w.Run(func(c *mpisim.Comm) {
+		rs, err := Tune(c, core.Config{Global: [3]int{64, 64, 64}},
+			CandidatesWithBudget(1e-2), Options{Warmup: 1, Iters: 2})
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			results = rs
+		}
+	})
+	best := Best(results)
+	if best.MeasuredSec <= 0 {
+		t.Fatal("winner was not measured")
+	}
+	if best.Wire == core.WireFp64 {
+		t.Errorf("budgeted tuning picked uncompressed winner %v", best.Candidate)
+	}
+}
+
 func TestPredictOrdersSlabsVsPencils(t *testing.T) {
 	// At 6 ranks on 512³ the model prefers slabs (Fig. 5 left region).
 	w := mpisim.NewWorld(machine.Summit(), 6, mpisim.Options{GPUAware: true})
