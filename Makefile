@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-precision bench-serve smoke-serve chaos chaos-sdc examples experiments quick-experiments
+.PHONY: all build vet test test-race race race-serve bench bench-forward bench-kernel bench-exchange bench-topo bench-precision bench-elastic bench-serve smoke-serve chaos chaos-sdc chaos-elastic examples experiments quick-experiments
 
 all: build vet test
 
@@ -59,6 +59,13 @@ bench-topo:
 bench-precision:
 	go run ./cmd/fftbench -exp precision -quick
 
+# Elastic-recovery latency: resume-from-checkpoint vs restart-from-input after
+# an injected kill, across kill phase and rank count (the BENCH_PR10.json
+# numbers). The ≥1.5x late-kill bar itself is gated by the tier-1 test
+# TestResumeBeatsRestartLateKill in internal/core.
+bench-elastic:
+	go run ./cmd/fftbench -exp elastic
+
 # Coalescing-service throughput vs one-plan-per-request under identical
 # open-loop load (the BENCH_PR2.json numbers).
 bench-serve:
@@ -85,6 +92,14 @@ chaos-sdc:
 	go run ./cmd/fftserve -chaos-sdc -smoke -seed 3
 	go run ./cmd/fftserve -chaos-sdc -smoke -seed 11
 	go run ./cmd/fftserve -chaos-sdc -smoke -seed 23
+
+# Seeded kill storms against an elastic server: engines shrink to their
+# survivors and resume interrupted batches from phase checkpoints, while
+# non-kill fault storms fall back through evict-and-rebuild. Asserts zero
+# lost/corrupted responses and that both the Resumed and Restarted recovery
+# paths fire. Same seed, same storm — failures replay.
+chaos-elastic:
+	go run ./cmd/fftserve -chaos-elastic -smoke -seed 5
 
 examples:
 	go run ./examples/quickstart

@@ -4,9 +4,14 @@
 // recommended decomposition, and — with -phase — the full phase diagram the
 // paper uses to pick the best setting per machine.
 //
+// With -dead it also evaluates the elastic-recovery model: the world epoch
+// and survivor set after that many rank deaths, the closed-form recovery-
+// reshape time, and the predicted resume-vs-restart speedup per kill phase.
+//
 // Usage:
 //
 //	fftplan -n 512 -ranks 768
+//	fftplan -n 512 -ranks 768 -dead 2
 //	fftplan -phase
 package main
 
@@ -27,6 +32,7 @@ func main() {
 		bw    = flag.Float64("bw", 23.5e9, "model bandwidth B in bytes/s (paper: 23.5 GB/s)")
 		lat   = flag.Float64("lat", 1e-6, "model latency L in seconds (paper: 1 µs)")
 		wire  = flag.String("wire", "fp64", "on-wire precision of interior exchanges: fp64|fp32|fp16")
+		dead  = flag.Int("dead", 0, "evaluate the elastic-recovery model after this many rank deaths")
 	)
 	flag.Parse()
 	wp, err := parseWire(*wire)
@@ -62,10 +68,33 @@ func main() {
 		fmt.Fprintf(tw, "T_pencils @%s\t%s (bound %.1e)\n", wp, heffte.FormatSeconds(tpc), heffte.WireErrorBound(wp, 2))
 	}
 	rec := "pencils"
+	best := tp
 	if heffte.PreferSlabs([3]int{*n, *n, *n}, e.P, e.Q, params) {
 		rec = "slabs"
+		best = ts
 	}
 	fmt.Fprintf(tw, "recommended decomposition\t%s\n", rec)
+
+	if *dead > 0 && *dead < *ranks {
+		// Elastic-recovery view: one shrink event losing -dead GPUs. The
+		// concrete survivor set is a runtime fact (CommPhases reports it per
+		// plan, with the epoch); here the model prices the recovery reshape
+		// that redistributes a checkpointed boundary to the survivors and the
+		// resume-vs-restart gap per kill phase of the pencil pipeline
+		// (4 reshapes interleaved with 3 compute phases).
+		surv := *ranks - *dead
+		trec := heffte.RecoveryReshapeTime(total, *ranks, surv, 16, params)
+		fmt.Fprintf(tw, "after %d death(s)\tepoch 1, %d survivors\n", *dead, surv)
+		fmt.Fprintf(tw, "T_recovery_reshape\t%s\n", heffte.FormatSeconds(trec))
+		const totalPhases = 7
+		for _, kp := range []struct {
+			name      string
+			completed int
+		}{{"early kill (1/7 phases done)", 1}, {"middle kill (4/7)", 4}, {"late kill (6/7)", 6}} {
+			fmt.Fprintf(tw, "resume speedup, %s\t%.2fx\n",
+				kp.name, heffte.ResumeSpeedup(best, trec, kp.completed, totalPhases))
+		}
+	}
 	tw.Flush()
 }
 

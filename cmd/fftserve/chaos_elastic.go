@@ -1,0 +1,263 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/heffte"
+	"repro/heffte/serve"
+)
+
+// Elastic chaos mode: seeded kill storms against a server running with
+// Config.Elastic, under verified load. The run proves the resume-not-restart
+// pipeline end to end — a rank kill mid-batch shrinks the engine's world to
+// its survivors and finishes the batch from its last phase checkpoint
+// (Resumed), while non-kill fault storms (nothing to shrink to) fall back
+// through the evict-and-rebuild path (Restarted) — and asserts that despite
+// all of it no response is lost or corrupted, both recovery paths actually
+// fired, and the capacity ledger recorded every GPU slot the kills took.
+//
+// Determinism: fault schedules are pure functions of (-seed, shape, build
+// counter), so identical seeds replay identical storms; every plan's
+// fingerprint is printed for comparison across runs.
+
+// elasticShapes: the resumable shape eats two staggered kills (one on the
+// first batch, one landing mid-steady-load on the already-shrunken world) and
+// keeps its engine; the storm shape suffers faults with no dead ranks, which
+// elastic recovery cannot shrink away, so it must restart.
+var (
+	elasticPrimary = [3]int{16, 16, 16}
+	elasticStorm   = [3]int{24, 24, 24}
+)
+
+// elasticKillPlan arms the primary shape's only engine build: a kill at
+// rank 1's second exchange (mid-pipeline, phase checkpoints exist) and a
+// second kill queued deep on rank 3's op counter, which survives the first
+// shrink (remapped onto the survivor world) and fires batches later — the
+// engine must resume twice, ending two epochs down.
+func elasticKillPlan() *heffte.FaultPlan {
+	return &heffte.FaultPlan{Timeout: 0.5, Events: []heffte.FaultEvent{
+		{Kind: heffte.FaultKill, Rank: 1, Op: 1},
+		{Kind: heffte.FaultKill, Rank: 3, Op: 9},
+	}}
+}
+
+// elasticStormPlan is the build'th engine schedule for the storm shape: a
+// seeded mix of drops, stalls and detected corruptions — fault-class
+// failures that leave no dead ranks, so shrink+resume is infeasible and the
+// batch goes down the restart path. A guaranteed drop at some rank's first
+// exchange makes the build's first batch fail regardless of where the
+// sampled events land. Builds past the first two are clean.
+func elasticStormPlan(seed int64, ranks, build int) *heffte.FaultPlan {
+	p := heffte.GenerateFaults(seed+int64(build)*104729, ranks, heffte.FaultConfig{
+		Stalls: 1, Drops: 1, Corrupts: 1, OpHorizon: 6, Timeout: 0.25,
+	})
+	p.Events = append(p.Events, heffte.FaultEvent{Kind: heffte.FaultDrop, Rank: build % ranks, Op: 0})
+	return p
+}
+
+func runChaosElastic(seed int64, smoke bool) error {
+	const ranks = 4
+	mainLoad := 96
+	if smoke {
+		mainLoad = 32
+	}
+	primaryPrefix := fmt.Sprintf("%dx%dx%d/", elasticPrimary[0], elasticPrimary[1], elasticPrimary[2])
+
+	var planMu sync.Mutex
+	srv := serve.New(serve.Config{
+		Ranks:            ranks,
+		Elastic:          true,
+		Window:           3 * time.Millisecond,
+		MaxBatch:         8,
+		Workers:          2,
+		MaxRetries:       3,
+		RetryBackoff:     100 * time.Microsecond,
+		RetryBackoffCap:  time.Millisecond,
+		BreakerThreshold: 4,
+		BreakerCooldown:  50 * time.Millisecond,
+		EngineFaults: func(shape string, build int) *heffte.FaultPlan {
+			var plan *heffte.FaultPlan
+			switch {
+			case strings.HasPrefix(shape, primaryPrefix) && build == 0:
+				plan = elasticKillPlan()
+			case !strings.HasPrefix(shape, primaryPrefix) && build < 2:
+				plan = elasticStormPlan(seed, ranks, build)
+			default:
+				return nil // healthy engine
+			}
+			planMu.Lock()
+			fmt.Printf("chaos-elastic: engine build %d for %s: %s [fingerprint %s]\n",
+				build, shape, plan, plan.Fingerprint())
+			planMu.Unlock()
+			return plan
+		},
+	})
+	defer srv.Close()
+
+	// Inputs and clean-run reference spectra, per shape. Resumed batches run
+	// on the shrunken world, but the spectrum is decomposition-independent
+	// and the resume path is bit-identical to a clean run by construction, so
+	// one reference per shape verifies every phase.
+	rng := rand.New(rand.NewSource(seed))
+	inputs := map[[3]int][]complex128{}
+	expected := map[[3]int][]complex128{}
+	for _, g := range [][3]int{elasticPrimary, elasticStorm} {
+		in := make([]complex128, g[0]*g[1]*g[2])
+		for i := range in {
+			in[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		inputs[g] = in
+		ref, err := chaosReference(g, ranks, in)
+		if err != nil {
+			return fmt.Errorf("reference transform for %v: %w", g, err)
+		}
+		expected[g] = ref
+	}
+
+	var lost, mismatched, clientRetries int64
+	var mu sync.Mutex
+	submitVerified := func(g [3]int, buf []complex128) error {
+		var lastErr error
+		for attempt := 0; attempt < 20; attempt++ {
+			copy(buf, inputs[g])
+			err := srv.Submit(context.Background(), &serve.Request{Global: g, Data: buf})
+			if err == nil {
+				if !equalComplex(buf, expected[g]) {
+					mu.Lock()
+					mismatched++
+					mu.Unlock()
+					return fmt.Errorf("corrupted response for %v", g)
+				}
+				return nil
+			}
+			if !heffte.IsFault(err) {
+				return fmt.Errorf("non-fault failure for %v: %w", g, err)
+			}
+			lastErr = err
+			mu.Lock()
+			clientRetries++
+			mu.Unlock()
+		}
+		mu.Lock()
+		lost++
+		mu.Unlock()
+		return fmt.Errorf("request for %v lost after 20 attempts: %w", g, lastErr)
+	}
+
+	// Phase 1 — coalesced burst: four concurrent primary requests land on the
+	// armed build-0 engine as one batch. The kill at rank 1 op 1 interrupts
+	// it mid-pipeline; the server shrinks the world to its three survivors
+	// and finishes the whole batch from its phase checkpoints — no eviction,
+	// no client-visible failure.
+	fmt.Println("chaos-elastic: phase 1 — kill mid-batch, shrink + resume in place")
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]complex128, len(inputs[elasticPrimary]))
+			errs[i] = submitVerified(elasticPrimary, buf)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2 — unresumable storm: fault-class failures with no dead ranks
+	// (drops, stalls, detected corruptions) leave nothing to shrink to, so
+	// the elastic path declines and the batch restarts on rebuilt engines.
+	fmt.Println("chaos-elastic: phase 2 — non-kill storm falls back to restart")
+	sbuf := make([]complex128, len(inputs[elasticStorm]))
+	for i := 0; i < 3; i++ {
+		if err := submitVerified(elasticStorm, sbuf); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3 — steady verified load on the shrunken primary engine. The
+	// second queued kill fires mid-load on the epoch-1 world; the engine
+	// resumes again and serves the rest of the load two epochs down.
+	fmt.Println("chaos-elastic: phase 3 — steady load across the second shrink")
+	var issued int64
+	var loadErr error
+	clients := 4
+	wg = sync.WaitGroup{}
+	var issuedMu sync.Mutex
+	next := func() bool {
+		issuedMu.Lock()
+		defer issuedMu.Unlock()
+		if issued >= int64(mainLoad) {
+			return false
+		}
+		issued++
+		return true
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]complex128, len(inputs[elasticPrimary]))
+			for next() {
+				if err := submitVerified(elasticPrimary, buf); err != nil {
+					mu.Lock()
+					if loadErr == nil {
+						loadErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if loadErr != nil {
+		return loadErr
+	}
+
+	st := srv.Stats()
+	rec := st.Recovery
+	fmt.Printf("chaos-elastic: %d client retries, %d lost, %d corrupted\n", clientRetries, lost, mismatched)
+	st.WriteText(os.Stdout)
+	if rec.Resumed < 1 {
+		return fmt.Errorf("chaos-elastic: expected at least one resumed batch, got none")
+	}
+	if rec.Restarted < 1 {
+		return fmt.Errorf("chaos-elastic: expected at least one restarted batch, got none")
+	}
+	if rec.FaultEvictions < 1 {
+		return fmt.Errorf("chaos-elastic: expected at least one fault eviction on the restart path")
+	}
+	if len(rec.LostSlots) < 1 {
+		return fmt.Errorf("chaos-elastic: kills shrank no capacity: LostSlots = %v", rec.LostSlots)
+	}
+	primary := false
+	for _, es := range st.Engines {
+		if !strings.HasPrefix(es.Shape, primaryPrefix) {
+			continue
+		}
+		primary = true
+		if es.Epoch < 1 || es.Ranks >= ranks || es.Resumed < 1 {
+			return fmt.Errorf("chaos-elastic: primary engine %s: epoch %d ranks %d resumed %d, want a resumed survivor world",
+				es.Shape, es.Epoch, es.Ranks, es.Resumed)
+		}
+	}
+	if !primary {
+		return fmt.Errorf("chaos-elastic: primary engine missing from stats (evicted instead of resumed?)")
+	}
+	if lost != 0 || mismatched != 0 {
+		return fmt.Errorf("chaos-elastic: %d lost, %d corrupted responses", lost, mismatched)
+	}
+	fmt.Printf("CHAOS-ELASTIC OK seed=%d (0 lost, 0 corrupted; resumed=%d restarted=%d lost-slots=%v retries=%d evictions=%d)\n",
+		seed, rec.Resumed, rec.Restarted, rec.LostSlots, rec.Retries, rec.FaultEvictions)
+	return nil
+}

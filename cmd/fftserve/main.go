@@ -19,6 +19,7 @@
 //	fftserve -smoke                           # small CI run (exit 1 on failure)
 //	fftserve -chaos -seed 7                   # seeded fault-injection run
 //	fftserve -chaos -smoke                    # small chaos run for CI
+//	fftserve -chaos-elastic -seed 5           # kill storms vs shrink+resume
 package main
 
 import (
@@ -61,10 +62,11 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "small self-checking run for CI")
 		chaos    = flag.Bool("chaos", false, "seeded fault-injection run: verified load against faulty engines (exit 1 on any lost/corrupted response); -smoke shrinks it for CI")
 		chaosSDC = flag.Bool("chaos-sdc", false, "seeded silent-data-corruption run: bit-flipping GPUs under verified load with the integrity defenses armed (exit 1 on any wrong answer); -smoke shrinks it for CI")
+		chaosEl  = flag.Bool("chaos-elastic", false, "seeded kill-storm run against an elastic server: verified load while engines shrink to survivors and resume (exit 1 on any lost/corrupted response, or if either the Resumed or Restarted path never fires); -smoke shrinks it for CI")
 	)
 	flag.Parse()
 
-	if *chaos || *chaosSDC {
+	if *chaos || *chaosSDC || *chaosEl {
 		if *chaos {
 			if err := runChaos(*seed, *smoke); err != nil {
 				fmt.Fprintln(os.Stderr, "fftserve: chaos FAILED:", err)
@@ -74,6 +76,12 @@ func main() {
 		if *chaosSDC {
 			if err := runChaosSDC(*seed, *smoke); err != nil {
 				fmt.Fprintln(os.Stderr, "fftserve: chaos-sdc FAILED:", err)
+				os.Exit(1)
+			}
+		}
+		if *chaosEl {
+			if err := runChaosElastic(*seed, *smoke); err != nil {
+				fmt.Fprintln(os.Stderr, "fftserve: chaos-elastic FAILED:", err)
 				os.Exit(1)
 			}
 		}

@@ -49,6 +49,22 @@ func PhaseDiagram(sizes, pis []int, grid func(pi int) (p, q int), params ModelPa
 	return model.PhaseDiagram(sizes, pis, grid, params)
 }
 
+// RecoveryReshapeTime is the closed form for the elastic recovery reshape:
+// the virtual time to redistribute a checkpointed stage boundary of n total
+// elements (elem bytes each) from oldRanks survivors' host checkpoints to the
+// newRanks-way survivor decomposition after a shrink.
+func RecoveryReshapeTime(n, oldRanks, newRanks int, elem float64, p ModelParams) float64 {
+	return model.RecoveryReshapeTime(n, oldRanks, newRanks, elem, p)
+}
+
+// ResumeSpeedup predicts the recovery-latency ratio restart/resume for a kill
+// after completed of total pipeline phases: a restart re-executes the whole
+// transform, a resume pays the recovery reshape plus only the remaining
+// phases.
+func ResumeSpeedup(transform, recover float64, completed, total int) float64 {
+	return model.ResumeSpeedup(transform, recover, completed, total)
+}
+
 // FormatSeconds renders a duration with a sensible unit (µs/ms/s).
 func FormatSeconds(s float64) string { return stats.FormatSeconds(s) }
 

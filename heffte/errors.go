@@ -62,6 +62,11 @@ var (
 	// is provably corrupt and cannot be repaired locally. Carries rank and
 	// phase context.
 	ErrIntegrity = mpisim.ErrIntegrity
+	// ErrShrunk marks an operation on a world that has already been shrunk
+	// to its survivors (World.Shrink): the handle is superseded, and callers
+	// racing a concurrent elastic recovery should retry on the successor
+	// world.
+	ErrShrunk = mpisim.ErrShrunk
 )
 
 // IsFault reports whether err wraps one of the injected-fault sentinels

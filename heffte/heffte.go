@@ -80,7 +80,14 @@ type (
 	// WirePrecision selects the on-wire element format of intermediate
 	// reshape payloads (WithWirePrecision): full doubles, fp32 or fp16.
 	WirePrecision = core.WirePrecision
+	// CheckpointStore holds an engine's phase checkpoints for elastic
+	// recovery (WithElastic): resumable per-rank stage-boundary snapshots a
+	// shrunken world's plan restarts from via Plan.ResumeBatch.
+	CheckpointStore = core.CheckpointStore
 )
+
+// NewCheckpointStore returns an empty phase-checkpoint store for WithElastic.
+func NewCheckpointStore() *CheckpointStore { return core.NewCheckpointStore() }
 
 // Decompositions.
 const (

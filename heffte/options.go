@@ -93,6 +93,17 @@ func WithAccuracyBudget(eps float64) PlanOption {
 	return func(cfg *Config) { cfg.Opts.AccuracyBudget = eps }
 }
 
+// WithElastic arms elastic recovery on the plan: every execution stages
+// per-rank phase checkpoints into s (priced in virtual time through the
+// retained-snapshot kernel), and after a World.Shrink a plan rebuilt over
+// the survivors — with the same store attached and the old decomposition
+// pinned via s.Decomp() — finishes the interrupted batch with
+// Plan.ResumeBatch instead of re-executing from the input. One store per
+// engine; pass the identical pointer on every rank.
+func WithElastic(s *CheckpointStore) PlanOption {
+	return func(cfg *Config) { cfg.Opts.Checkpoints = s }
+}
+
 // NewPlanWith collectively creates a plan for a global grid from functional
 // options; all ranks pass identical arguments.
 func NewPlanWith(c *Comm, global [3]int, opts ...PlanOption) (*Plan, error) {

@@ -20,7 +20,7 @@ func (k engineKey) String() string {
 	return fmt.Sprintf("%dx%dx%d/%s/%s/r%d", k.global[0], k.global[1], k.global[2], k.decomp, k.prec, k.ranks)
 }
 
-// engineJob is one fused batch dispatched to every rank of an engine.
+// engineJob is one fused batch dispatched to every rank of a backend.
 type engineJob struct {
 	dir Direction
 	// fields[r][i] is rank r's share of batch entry i.
@@ -32,58 +32,137 @@ type engineJob struct {
 	virtual  float64 // virtual seconds this batch cost on rank 0
 }
 
+// ticket identifies one dispatched batch for elastic recovery: the backend
+// it ran on and the checkpoint generation it executed under.
+type ticket struct {
+	be  *backend
+	gen int
+}
+
+// backend is one incarnation of an engine's execution world: the world
+// itself, its rank-loop channels, and the input distribution of its rank
+// count. A healthy engine has exactly one backend for its lifetime; an
+// elastic engine swaps in a shrunken backend after a rank kill
+// (shrinkResume), so the engine identity — and its cache slot — survives the
+// capacity loss.
+type backend struct {
+	world   *heffte.World
+	size    int
+	epoch   int
+	inBoxes []heffte.Box3
+
+	jobs      []chan *engineJob
+	done      chan struct{} // closed when the world's Run returned
+	closeOnce sync.Once
+
+	// fieldSets recycles per-request distributed field sets (one field per
+	// rank, ~the global volume each) across batches. Per backend because the
+	// input distribution depends on the rank count.
+	fieldSets sync.Pool
+
+	// commPhases is the collective configuration the backend's plan resolved
+	// to, captured on rank 0 at plan creation (identical on every rank).
+	commPhases []heffte.CommPhase
+}
+
+// close stops the rank loops and waits for the world to wind down. Callers
+// must guarantee no job is in flight on this backend.
+func (b *backend) close() {
+	b.closeOnce.Do(func() {
+		for _, ch := range b.jobs {
+			close(ch)
+		}
+	})
+	<-b.done
+}
+
+// resumeRun coordinates the in-place resume of an interrupted batch on a
+// freshly shrunken backend: each rank's ResumeBatch output lands here.
+type resumeRun struct {
+	wg       sync.WaitGroup
+	fields   [][]*heffte.Field // per rank: resumed batch entries at output
+	errs     []error           // per rank
+	clockEnd float64           // rank 0 clock after the resumed batch
+	virtual  float64
+}
+
+func (r *resumeRun) firstErr() error {
+	for _, e := range r.errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
 // engine is a resident execution backend for one shape: a long-lived
 // simulated world whose rank goroutines hold a collectively created plan and
 // loop over dispatched jobs. Keeping world and plans alive across batches is
 // what the plan cache exists for — plan construction (box analysis, reshape
 // schedules, kernel tables) happens once per shape, not once per request.
 type engine struct {
-	key     engineKey
-	size    int
-	world   *heffte.World
-	inBoxes []heffte.Box3
+	key    engineKey
+	comm   heffte.CommConfig
+	budget float64
+	// store holds the engine's phase checkpoints when the server runs
+	// elastic (nil otherwise); one store per engine, shared across backends.
+	store *heffte.CheckpointStore
 
-	// jobs fan one engineJob out to every rank. Dispatch is serialized by
-	// dispatchMu so concurrent workers enqueue jobs in the same order on every
-	// rank — a collective execution must stay collective.
-	jobs       []chan *engineJob
+	// be is the current backend. Guarded by BOTH dispatchMu and statsMu: a
+	// swap takes both, so readers may hold either.
+	be *backend
+
+	// dispatchMu serializes job dispatch so concurrent workers enqueue jobs
+	// in the same order on every rank — a collective execution must stay
+	// collective. It also pins the backend and checkpoint generation a batch
+	// executes under.
 	dispatchMu sync.Mutex
-
-	done      chan struct{} // closed when the world's Run returned
-	closeOnce sync.Once
-
-	// fieldSets recycles per-request distributed field sets (one field per
-	// rank, ~the global volume each) across batches. Without it every request
-	// allocates and zeroes its full data volume again; with it a steady-state
-	// hot shape reuses the same buffers (packBox overwrites every element, so
-	// stale contents cannot leak).
-	fieldSets sync.Pool
+	// shrinkMu serializes elastic recoveries: one shrink+resume at a time.
+	shrinkMu sync.Mutex
 
 	statsMu    sync.Mutex
 	batches    uint64
 	requests   uint64
+	resumed    uint64  // batches finished via shrink+resume on this engine
 	virtualSec float64 // rank 0 virtual clock: total engine busy virtual time
 
-	// commPhases is the collective configuration the plan resolved to,
-	// captured on rank 0 at plan creation (identical on every rank).
-	commPhases []heffte.CommPhase
-
-	// slots is the rank→GPU-slot map the engine's world was placed with; the
-	// health ledger attributes per-rank suspicion through it. lastInteg and
-	// lastSusp (under statsMu) are the world counters already harvested, so
-	// repeated harvests deliver deltas.
-	slots     []int
-	lastInteg heffte.IntegritySnapshot
-	lastSusp  []int64
+	// slots is the rank→GPU-slot map of the CURRENT backend; the health
+	// ledger attributes per-rank suspicion through it. lastInteg/lastSusp
+	// are the current world's counters already harvested (deltas); carry*
+	// hold the final unharvested deltas of backends retired by a shrink.
+	slots      []int
+	lastInteg  heffte.IntegritySnapshot
+	lastSusp   []int64
+	carryInteg heffte.IntegritySnapshot
+	carrySusp  map[int]int64
 }
 
-// harvest returns the integrity counters and per-rank suspicion the engine's
-// world accumulated since the previous harvest.
-func (e *engine) harvest() (heffte.IntegritySnapshot, []int64) {
-	snap := e.world.IntegrityCounters().Snapshot()
-	susp := e.world.SuspicionScores()
+// backend returns the current backend.
+func (e *engine) backend() *backend {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
+	return e.be
+}
+
+// harvest returns the integrity counters and per-GPU-slot suspicion the
+// engine accumulated since the previous harvest, across backend swaps.
+func (e *engine) harvest() (heffte.IntegritySnapshot, map[int]int64) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	d, perSlot := e.harvestLocked()
+	d.Add(e.carryInteg)
+	e.carryInteg = heffte.IntegritySnapshot{}
+	for sl, v := range e.carrySusp {
+		perSlot[sl] += v
+	}
+	e.carrySusp = nil
+	return d, perSlot
+}
+
+// harvestLocked drains the current backend's counter deltas. statsMu held.
+func (e *engine) harvestLocked() (heffte.IntegritySnapshot, map[int]int64) {
+	snap := e.be.world.IntegrityCounters().Snapshot()
+	susp := e.be.world.SuspicionScores()
 	d := snap
 	prev := e.lastInteg
 	d.ChecksumChecks -= prev.ChecksumChecks
@@ -93,15 +172,18 @@ func (e *engine) harvest() (heffte.IntegritySnapshot, []int64) {
 	d.InvariantFailures -= prev.InvariantFailures
 	d.PhaseReexecs -= prev.PhaseReexecs
 	e.lastInteg = snap
-	ds := make([]int64, len(susp))
+	perSlot := make(map[int]int64)
 	for r, v := range susp {
-		ds[r] = v
+		dv := v
 		if r < len(e.lastSusp) {
-			ds[r] -= e.lastSusp[r]
+			dv -= e.lastSusp[r]
+		}
+		if dv != 0 && r < len(e.slots) {
+			perSlot[e.slots[r]] += dv
 		}
 	}
 	e.lastSusp = susp
-	return d, ds
+	return d, perSlot
 }
 
 // engineWorldOpts assembles the world options every engine of a server runs
@@ -119,31 +201,60 @@ func engineWorldOpts(cfg Config, fp *heffte.FaultPlan, place heffte.Placement) h
 
 // newEngine starts the world and creates the plan on every rank. It returns
 // after plan creation succeeded (or failed) everywhere. A non-nil fault plan
-// arms the world with a deterministic fault schedule (chaos testing).
-func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig, budget float64, slots []int) (*engine, error) {
+// arms the world with a deterministic fault schedule (chaos testing);
+// elastic arms phase checkpointing so a rank kill can shrink-and-resume
+// instead of losing the engine.
+func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heffte.CommConfig, budget float64, slots []int, elastic bool) (*engine, error) {
 	e := &engine{
-		key:     k,
-		size:    k.ranks,
-		inBoxes: heffte.DefaultBricks(k.ranks, k.global),
-		jobs:    make([]chan *engineJob, k.ranks),
+		key:    k,
+		comm:   comm,
+		budget: budget,
+		slots:  slots,
+	}
+	if elastic {
+		e.store = heffte.NewCheckpointStore()
+	}
+	w := heffte.NewWorld(m, k.ranks, wo)
+	be, err := e.startBackend(w, k.decomp, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.be = be
+	return e, nil
+}
+
+// startBackend launches a world's rank loops: collective plan creation,
+// optional in-place resume of an interrupted batch (res != nil), then the
+// job loop. Returns once plan creation succeeded (or failed) on every rank;
+// a resume, when requested, completes when res.wg is drained.
+func (e *engine) startBackend(w *heffte.World, decomp heffte.Decomposition, res *resumeRun) (*backend, error) {
+	size := w.Size()
+	be := &backend{
+		world:   w,
+		size:    size,
+		epoch:   w.Epoch(),
+		inBoxes: heffte.DefaultBricks(size, e.key.global),
+		jobs:    make([]chan *engineJob, size),
 		done:    make(chan struct{}),
-		slots:   slots,
 	}
-	for r := range e.jobs {
-		e.jobs[r] = make(chan *engineJob, 1)
+	for r := range be.jobs {
+		be.jobs[r] = make(chan *engineJob, 1)
 	}
-	e.fieldSets.New = func() any {
-		set := make([]*heffte.Field, e.size)
+	be.fieldSets.New = func() any {
+		set := make([]*heffte.Field, size)
 		for r := range set {
-			set[r] = heffte.NewField(e.inBoxes[r])
+			set[r] = heffte.NewField(be.inBoxes[r])
 		}
 		return set
 	}
-	w := heffte.NewWorld(m, k.ranks, wo)
-	e.world = w
+	if res != nil {
+		res.fields = make([][]*heffte.Field, size)
+		res.errs = make([]error, size)
+		res.wg.Add(size)
+	}
 	errc := make(chan error, 1)
 	go func() {
-		defer close(e.done)
+		defer close(be.done)
 		w.Run(func(c *heffte.Comm) {
 			// Plan construction is collective; Protect keeps a fault unwinding
 			// it from escaping the rank function (errc must always receive).
@@ -151,8 +262,9 @@ func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heff
 			var err error
 			if ferr := c.Protect(func() {
 				plan, err = heffte.NewPlan(c, heffte.Config{
-					Global: k.global,
-					Opts:   heffte.Options{Decomp: k.decomp, Comm: comm, AccuracyBudget: budget},
+					Global: e.key.global,
+					Opts: heffte.Options{Decomp: decomp, Comm: e.comm,
+						AccuracyBudget: e.budget, Checkpoints: e.store},
 				})
 			}); ferr != nil {
 				err = ferr
@@ -161,7 +273,7 @@ func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heff
 				if err == nil {
 					// Written before errc is signalled, so the constructor's
 					// happens-before edge publishes it to stats readers.
-					e.commPhases = plan.CommPhases()
+					be.commPhases = plan.CommPhases()
 				}
 				errc <- err
 			}
@@ -169,10 +281,27 @@ func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heff
 				// Identical Config on every rank fails identically (and faults
 				// abort the whole world), so all ranks exit together and Run
 				// returns.
+				if res != nil {
+					res.errs[c.Rank()] = err
+					res.wg.Done()
+				}
 				return
 			}
 			defer plan.Close()
-			for job := range e.jobs[c.Rank()] {
+			if res != nil {
+				// Finish the batch the kill interrupted before serving new
+				// work. ResumeBatch surfaces its own faults as errors.
+				fields, rerr := plan.ResumeBatch()
+				res.fields[c.Rank()] = fields
+				res.errs[c.Rank()] = rerr
+				if c.Rank() == 0 && rerr == nil {
+					li := plan.LastExec()
+					res.clockEnd = li.End
+					res.virtual = li.End - li.Start
+				}
+				res.wg.Done()
+			}
+			for job := range be.jobs[c.Rank()] {
 				fs := job.fields[c.Rank()]
 				var jerr error
 				if job.dir == Inverse {
@@ -191,84 +320,106 @@ func newEngine(k engineKey, m *heffte.Machine, wo heffte.WorldOptions, comm heff
 		})
 	}()
 	if err := <-errc; err != nil {
-		e.close()
+		be.close()
 		return nil, err
 	}
-	return e, nil
+	return be, nil
 }
 
-// execute scatters each request's global array over the engine's input
+// execute scatters each request's global array over the backend's input
 // bricks, runs one fused batched transform, and gathers the (in-place)
 // results back. Results are bit-identical to executing the requests one by
 // one: batch entries touch disjoint data, and scatter/gather are exact
-// copies.
-func (e *engine) execute(dir Direction, reqs []*Request) error {
-	sets := make([][]*heffte.Field, len(reqs))
-	for i, req := range reqs {
-		sets[i] = e.fieldSets.Get().([]*heffte.Field)
-		for _, f := range sets[i] {
-			packBox(f.Data, f.Box, req.Data, e.key.global)
+// copies. The returned ticket identifies the backend and checkpoint
+// generation the batch ran under, for elastic recovery.
+func (e *engine) execute(dir Direction, reqs []*Request) (ticket, error) {
+	for {
+		be := e.backend()
+		sets := make([][]*heffte.Field, len(reqs))
+		for i, req := range reqs {
+			sets[i] = be.fieldSets.Get().([]*heffte.Field)
+			for _, f := range sets[i] {
+				packBox(f.Data, f.Box, req.Data, e.key.global)
+			}
 		}
-	}
-	per := make([][]*heffte.Field, e.size)
-	for r := 0; r < e.size; r++ {
-		per[r] = make([]*heffte.Field, len(reqs))
-		for i := range reqs {
-			per[r][i] = sets[i][r]
+		per := make([][]*heffte.Field, be.size)
+		for r := 0; r < be.size; r++ {
+			per[r] = make([]*heffte.Field, len(reqs))
+			for i := range reqs {
+				per[r][i] = sets[i][r]
+			}
 		}
-	}
-	job := &engineJob{dir: dir, fields: per}
-	job.wg.Add(e.size)
-	e.dispatchMu.Lock()
-	for r := range e.jobs {
-		e.jobs[r] <- job
-	}
-	e.dispatchMu.Unlock()
-	job.wg.Wait()
-	if job.err == nil {
-		// A fault on a rank other than 0 can leave rank 0's own execution
-		// clean; the world's sticky fault error still fails the batch (its
-		// outputs may be incomplete) and gets the engine evicted.
-		job.err = e.world.FaultError()
-	}
-	if job.err != nil {
-		return fmt.Errorf("serve: engine %s: %w", e.key, job.err)
-	}
-	for i, req := range reqs {
-		for _, f := range sets[i] {
-			unpackBox(req.Data, e.key.global, f.Data, f.Box)
+		job := &engineJob{dir: dir, fields: per}
+		job.wg.Add(be.size)
+		e.dispatchMu.Lock()
+		if e.be != be {
+			// An elastic recovery swapped the backend between scatter and
+			// dispatch: the sets are shaped for the old rank count. Rescatter.
+			e.dispatchMu.Unlock()
+			for _, set := range sets {
+				be.fieldSets.Put(set)
+			}
+			continue
 		}
-		e.fieldSets.Put(sets[i])
+		tk := ticket{be: be}
+		if e.store != nil {
+			// One checkpoint generation per batch, pinned under dispatchMu:
+			// a resume only trusts trails of the generation it is recovering.
+			tk.gen = e.store.Advance()
+		}
+		for r := range be.jobs {
+			be.jobs[r] <- job
+		}
+		e.dispatchMu.Unlock()
+		job.wg.Wait()
+		if job.err == nil {
+			// A fault on a rank other than 0 can leave rank 0's own execution
+			// clean; the world's sticky fault error still fails the batch (its
+			// outputs may be incomplete) and gets the engine evicted.
+			job.err = be.world.FaultError()
+		}
+		if job.err != nil {
+			return tk, fmt.Errorf("serve: engine %s: %w", e.key, job.err)
+		}
+		for i, req := range reqs {
+			for _, f := range sets[i] {
+				unpackBox(req.Data, e.key.global, f.Data, f.Box)
+			}
+			be.fieldSets.Put(sets[i])
+		}
+		e.statsMu.Lock()
+		e.batches++
+		e.requests += uint64(len(reqs))
+		e.virtualSec = job.clockEnd
+		e.statsMu.Unlock()
+		return tk, nil
 	}
-	e.statsMu.Lock()
-	e.batches++
-	e.requests += uint64(len(reqs))
-	e.virtualSec = job.clockEnd
-	e.statsMu.Unlock()
-	return nil
 }
 
 func (e *engine) stats() EngineStats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
+	shape := e.key.String()
+	if e.be.epoch > 0 {
+		shape = fmt.Sprintf("%s@e%d(r%d)", shape, e.be.epoch, e.be.size)
+	}
 	return EngineStats{
-		Shape:          e.key.String(),
+		Shape:          shape,
+		Epoch:          e.be.epoch,
+		Ranks:          e.be.size,
 		Batches:        e.batches,
 		Requests:       e.requests,
+		Resumed:        e.resumed,
 		VirtualSeconds: e.virtualSec,
-		Comm:           e.commPhases,
+		Comm:           e.be.commPhases,
 	}
 }
 
-// close stops the rank loops and waits for the world to wind down. Callers
-// must guarantee no job is in flight (the cache's refcount does).
+// close stops the current backend's rank loops and waits for its world to
+// wind down. Callers must guarantee no job is in flight (the cache's
+// refcount does); backends retired by shrinks are already closed.
 func (e *engine) close() {
-	e.closeOnce.Do(func() {
-		for _, ch := range e.jobs {
-			close(ch)
-		}
-	})
-	<-e.done
+	e.backend().close()
 }
 
 // Scatter splits a global row-major N0×N1×N2 array across boxes, returning

@@ -21,8 +21,9 @@ type health struct {
 	mu          sync.Mutex
 	suspicion   map[int]int64 // GPU slot → accumulated suspicion
 	quarantined map[int]bool
-	quarantines uint64 // slots ever quarantined
-	rebuilds    uint64 // engines invalidated for using a quarantined slot
+	quarantines uint64       // slots ever quarantined
+	rebuilds    uint64       // engines invalidated for using a quarantined slot
+	lost        map[int]bool // GPU slots lost to elastic shrinks
 	integ       heffte.IntegritySnapshot
 }
 
@@ -35,20 +36,23 @@ func (s *Server) noteHealth(e *engine) bool {
 		return false
 	}
 	snap, susp := e.harvest()
+	slots := e.slotList()
 	h := &s.health
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.integ.Add(snap)
-	tainted := false
-	for r, d := range susp {
-		slot := e.slots[r]
-		if d > 0 {
-			h.suspicion[slot] += d
-			if !h.quarantined[slot] && h.suspicion[slot] >= int64(s.cfg.QuarantineThreshold) {
-				h.quarantined[slot] = true
-				h.quarantines++
-			}
+	for slot, d := range susp {
+		if d <= 0 {
+			continue
 		}
+		h.suspicion[slot] += d
+		if !h.quarantined[slot] && h.suspicion[slot] >= int64(s.cfg.QuarantineThreshold) {
+			h.quarantined[slot] = true
+			h.quarantines++
+		}
+	}
+	tainted := false
+	for _, slot := range slots {
 		if h.quarantined[slot] {
 			tainted = true
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -57,6 +58,8 @@ type recovery struct {
 	faultEvictions uint64
 	degraded       uint64
 	trips          uint64
+	resumed        uint64
+	restarted      uint64
 }
 
 // nextBuild returns (and advances) the build counter for a shape: how many
@@ -152,15 +155,26 @@ func (s *Server) attempt(key string, reqs []*Request, depth int) error {
 		}
 		return s.retry(key, reqs, depth)
 	}
-	execErr := slot.eng.execute(reqs[0].Direction, reqs)
+	tk, execErr := slot.eng.execute(reqs[0].Direction, reqs)
+	if execErr != nil && heffte.IsFault(execErr) && s.cfg.Elastic {
+		// Resume-first: try to finish the interrupted batch in place on the
+		// engine's shrunken survivor world before giving the engine up.
+		if rerr := s.elasticResume(slot.eng, tk, reqs[0].Direction, reqs); rerr == nil {
+			execErr = nil
+		}
+	}
 	if s.noteHealth(slot.eng) {
 		// The health ledger quarantined a GPU slot this engine occupies:
 		// invalidate it so the next build places ranks around the bad slot.
 		s.cache.invalidate(slot)
 	}
 	if execErr != nil && heffte.IsFault(execErr) {
-		// The engine's world is permanently failed: evict it so this retry —
-		// and every other in-flight batch on it — rebuilds on a fresh world.
+		// The engine's world is permanently failed (and, if elastic, not
+		// resumable): evict it so this retry — and every other in-flight
+		// batch on it — rebuilds on a fresh world.
+		s.rec.mu.Lock()
+		s.rec.restarted++
+		s.rec.mu.Unlock()
 		if s.cache.invalidate(slot) {
 			s.rec.mu.Lock()
 			s.rec.faultEvictions++
@@ -196,15 +210,37 @@ func (s *Server) retry(key string, reqs []*Request, depth int) error {
 // backoff sleeps the capped exponential delay for this retry depth, with
 // ±25% jitter so synchronized failures do not retry in lockstep.
 func (s *Server) backoff(depth int) {
-	d := s.cfg.RetryBackoff << depth
-	if d > s.cfg.RetryBackoffCap {
-		d = s.cfg.RetryBackoffCap
-	}
+	d := backoffDelay(s.cfg.RetryBackoff, s.cfg.RetryBackoffCap, depth)
 	if d <= 0 {
 		return
 	}
 	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
 	time.Sleep(d + jitter)
+}
+
+// backoffDelay is the capped exponential backoff: base doubled depth times,
+// saturating at max. The doubling is clamped step by step — a single
+// `base << depth` overflows time.Duration long before the cap comparison on
+// deep retry chains, turning the delay negative (no backoff at all).
+func backoffDelay(base, max time.Duration, depth int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max > 0 && base >= max {
+		return max
+	}
+	d := base
+	for i := 0; i < depth; i++ {
+		next := d << 1
+		if max > 0 && (next >= max || next <= 0) {
+			return max
+		}
+		if next <= 0 {
+			return d // uncapped: saturate at the last positive doubling
+		}
+		d = next
+	}
+	return d
 }
 
 // combine flattens the results of a split retry into one per-item error
@@ -306,6 +342,16 @@ type RecoveryStats struct {
 	DegradedRequests uint64
 	// BreakerTrips counts closed/half-open → open transitions.
 	BreakerTrips uint64
+	// Resumed counts fault-failed batches recovered in place: the engine's
+	// world shrank to its survivors and the batch finished from its last
+	// completed phase checkpoint (Config.Elastic).
+	Resumed uint64
+	// Restarted counts fault-failed batches that went back through the
+	// evict-and-rebuild retry path instead (elastic off, or the batch was
+	// not resumable).
+	Restarted uint64
+	// LostSlots lists GPU slots lost to elastic shrinks, ascending.
+	LostSlots []int
 	// Breakers maps shape keys to breaker state ("closed", "open",
 	// "half-open"); shapes that never failed are absent.
 	Breakers map[string]string
@@ -320,10 +366,18 @@ func (s *Server) recoveryStats() RecoveryStats {
 		FaultEvictions:   s.rec.faultEvictions,
 		DegradedRequests: s.rec.degraded,
 		BreakerTrips:     s.rec.trips,
+		Resumed:          s.rec.resumed,
+		Restarted:        s.rec.restarted,
 		Breakers:         make(map[string]string, len(s.rec.breakers)),
 	}
 	for k, b := range s.rec.breakers {
 		rs.Breakers[k] = b.name()
 	}
+	s.health.mu.Lock()
+	for sl := range s.health.lost {
+		rs.LostSlots = append(rs.LostSlots, sl)
+	}
+	s.health.mu.Unlock()
+	sort.Ints(rs.LostSlots)
 	return rs
 }

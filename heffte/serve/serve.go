@@ -145,6 +145,15 @@ type Config struct {
 	// retransmits and invariant failures) at which the slot is quarantined
 	// and engines rebuild on placements avoiding it (default 3).
 	QuarantineThreshold int
+
+	// Elastic arms shrink-to-survivors recovery on every engine: executions
+	// stage phase checkpoints (a modeled virtual-time cost), and a batch that
+	// loses a rank mid-flight first attempts to shrink the engine's world to
+	// the survivors and resume from the last completed phase — keeping the
+	// engine resident at reduced capacity — before falling back to the
+	// evict-and-rebuild retry path. RecoveryStats.Resumed / .Restarted report
+	// which path recovered each fault-failed batch.
+	Elastic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -216,7 +225,7 @@ func New(cfg Config) *Server {
 		case cfg.EngineFaults != nil:
 			fp = cfg.EngineFaults(k.String(), s.nextBuild(k.String()))
 		}
-		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp, place), cfg.Comm, cfg.AccuracyBudget, slots)
+		return newEngine(k, cfg.Machine, engineWorldOpts(cfg, fp, place), cfg.Comm, cfg.AccuracyBudget, slots, cfg.Elastic)
 	})
 	s.sched = sched.New[*Request](sched.Config{
 		Workers:  cfg.Workers,
@@ -292,9 +301,19 @@ type CacheStats struct {
 
 // EngineStats describes one resident engine.
 type EngineStats struct {
-	Shape    string
+	// Shape is the engine's cache key; engines that shrank carry an
+	// "@e<epoch>(r<ranks>)" suffix showing the survivor world they run on.
+	Shape string
+	// Epoch is the engine world's epoch: 0 for a fresh world, +1 per elastic
+	// shrink it survived.
+	Epoch int
+	// Ranks is the engine's current world size (the survivor count after
+	// elastic shrinks).
+	Ranks    int
 	Batches  uint64
 	Requests uint64
+	// Resumed counts batches this engine finished via shrink+resume.
+	Resumed uint64
 	// VirtualSeconds is the engine's rank-0 virtual clock: the simulated
 	// busy time it spent executing batches.
 	VirtualSeconds float64
@@ -353,9 +372,16 @@ func (st Stats) WriteText(w io.Writer) {
 		}
 	}
 	r := st.Recovery
-	if r.Retries > 0 || r.FaultEvictions > 0 || r.BreakerTrips > 0 || r.DegradedRequests > 0 {
+	if r.Retries > 0 || r.FaultEvictions > 0 || r.BreakerTrips > 0 || r.DegradedRequests > 0 || r.Resumed > 0 {
 		fmt.Fprintf(w, "recovery: %d retries (%d batch splits), %d fault evictions, %d breaker trips, %d degraded requests\n",
 			r.Retries, r.BatchSplits, r.FaultEvictions, r.BreakerTrips, r.DegradedRequests)
+		if r.Resumed > 0 || r.Restarted > 0 {
+			fmt.Fprintf(w, "  elastic: %d resumed, %d restarted", r.Resumed, r.Restarted)
+			if len(r.LostSlots) > 0 {
+				fmt.Fprintf(w, ", lost slots %v", r.LostSlots)
+			}
+			fmt.Fprintln(w)
+		}
 		keys := make([]string, 0, len(r.Breakers))
 		for k := range r.Breakers {
 			keys = append(keys, k)

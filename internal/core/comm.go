@@ -260,6 +260,14 @@ type CommPhase struct {
 	// the configured compressed format for interior reshapes, WireFp64 for
 	// input/output reshapes and datatype (Alltoallw) exchanges.
 	Wire WirePrecision
+	// Epoch is the world epoch the phase executes under (0 for a fresh
+	// world, +1 per elastic shrink), so operators can see which incarnation
+	// of the rank set a reported plan belongs to.
+	Epoch int
+	// Survivors lists the epoch-0 world ranks the executing world descends
+	// from, in world-rank order — the survivor set after elastic shrinks.
+	// Nil at epoch 0, where it would be the identity.
+	Survivors []int
 }
 
 // CommPhases reports the resolved per-phase communication configuration for
@@ -272,7 +280,10 @@ func (p *Plan) CommPhases() []CommPhase {
 			continue
 		}
 		rs := st.rs
-		cp := CommPhase{Label: rs.label, Algo: CollLinear, Chunks: 1}
+		cp := CommPhase{Label: rs.label, Algo: CollLinear, Chunks: 1, Epoch: p.comm.World().Epoch()}
+		if cp.Epoch > 0 {
+			cp.Survivors = p.comm.World().OriginRanks()
+		}
 		if rs.group != nil {
 			cp.GroupSize = rs.group.Size()
 			cp.Schedule = "flat"

@@ -101,7 +101,16 @@ type ExecInfo struct {
 // from the goroutine that ran the plan.
 func (p *Plan) LastExec() ExecInfo { return p.lastExec }
 
-func (p *Plan) execute(fields []*Field, dir fft.Direction) (err error) {
+func (p *Plan) execute(fields []*Field, dir fft.Direction) error {
+	return p.executeFrom(fields, dir, 0, false)
+}
+
+// executeFrom runs the pipeline from stage index from (0 = the full
+// transform): the fields must carry the data distribution of that stage
+// boundary (p.dists[from]). ResumeBatch uses it to re-enter a shrunken
+// world's pipeline at the last globally completed boundary; recycleFirst
+// marks the fields' arrays as pool-drawn so the first reshape recycles them.
+func (p *Plan) executeFrom(fields []*Field, dir fft.Direction, from int, recycleFirst bool) (err error) {
 	if p.closed {
 		return fmt.Errorf("core: %w", ErrPlanClosed)
 	}
@@ -117,13 +126,26 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) (err error) {
 	p.lastExec = ExecInfo{Batch: len(fields), Start: p.comm.Clock()}
 	p.lastExec.End = p.lastExec.Start
 	phantom := fields[0].Phantom()
+	startBox := p.dists[from][p.comm.Rank()]
 	for _, f := range fields {
-		if err := f.validate(p.inBox); err != nil {
+		if err := f.validate(startBox); err != nil {
 			return err
 		}
 		if f.Phantom() != phantom {
 			return fmt.Errorf("core: batch mixes phantom and real fields")
 		}
+	}
+	ck := p.opts.Checkpoints
+	if ck != nil {
+		// Open this rank's checkpoint trail with the boundary being entered:
+		// the caller's input, or (on resume) the boundary restored, so a
+		// second shrink can cascade from there.
+		p.beginCheckpoints(ck, dir, len(fields), phantom)
+		label := inputBoundary
+		if from > 0 {
+			label = p.stages[from-1].label
+		}
+		p.saveBoundary(ck, label, fields, phantom)
 	}
 
 	// pending is local FFT work of batch entries beyond the first whose
@@ -134,12 +156,13 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) (err error) {
 	// The first reshape packs from caller-owned arrays; every later one packs
 	// from arrays the previous reshape drew from the staging pool, which are
 	// recycled once packed.
-	recycle := false
+	recycle := recycleFirst
 	var check func()
 	if p.ctx != nil {
 		check = p.checkCtx
 	}
-	for _, st := range p.stages {
+	for si := from; si < len(p.stages); si++ {
+		st := p.stages[si]
 		p.curPhase = st.label
 		p.checkCtx()
 		switch st.kind {
@@ -155,6 +178,9 @@ func (p *Plan) execute(fields []*Field, dir fft.Direction) (err error) {
 		case stageFFT1D, stageFFT2D:
 			per := p.fftStage(st, fields, dir)
 			pending += per * float64(len(fields)-1)
+		}
+		if ck != nil {
+			p.saveBoundary(ck, st.label, fields, phantom)
 		}
 	}
 	if pending > 0 {

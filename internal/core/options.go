@@ -209,4 +209,11 @@ type Options struct {
 	// over the plan's compressed exchanges exceeds it, and the tuner only
 	// enumerates compressed candidates that fit it. Zero means no constraint.
 	AccuracyBudget float64
+
+	// Checkpoints, when non-nil, arms elastic recovery: every execution
+	// stages per-rank phase checkpoints into the store (priced through the
+	// device's Retain kernel), and after a World.Shrink a plan rebuilt over
+	// the survivors can ResumeBatch from the last globally completed stage
+	// boundary instead of re-executing from the input. See checkpoint.go.
+	Checkpoints *CheckpointStore
 }

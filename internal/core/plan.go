@@ -35,6 +35,12 @@ type Plan struct {
 
 	inBox, outBox tensor.Box3
 	stages        []stage
+	// dists records the full data distribution at every stage boundary:
+	// dists[0] is the input distribution and dists[i+1] the distribution
+	// after stages[i] (reshapes change it, compute stages keep it). Resume
+	// uses it to rebuild the fields of an arbitrary boundary on a re-planned
+	// survivor world; len(dists) == len(stages)+1.
+	dists [][]tensor.Box3
 
 	// lp is the number of active ranks after FFT grid shrinking
 	// (Algorithm 1, line 2); equals comm size when shrinking is off.
@@ -192,6 +198,7 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		return out
 	}
 	cur := inBoxes
+	p.dists = [][]tensor.Box3{inBoxes}
 	tagSeq := 0
 
 	// interior marks reshapes strictly between compute stages, the ones
@@ -206,6 +213,7 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		rs.interior = interior
 		p.stages = append(p.stages, stage{kind: stageReshape, label: "reshape " + label, rs: rs})
 		cur = target
+		p.dists = append(p.dists, target)
 	}
 	addFFT1D := func(axis int) {
 		p.stages = append(p.stages, stage{
@@ -215,6 +223,7 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 			// plan-cache lock; twiddle tables are shared across all lookups.
 			fplan: fft.NewPlan(p.global[axis]),
 		})
+		p.dists = append(p.dists, cur)
 	}
 
 	switch p.decomp {
@@ -246,6 +255,7 @@ func (p *Plan) buildStages(inBoxes, outBoxes []tensor.Box3) error {
 		// to slabs along axis 1, then 1-D FFTs along axis 0.
 		addReshape(pad(slabBoxes(p.global, 0, p.lp)), "slab-0", false)
 		p.stages = append(p.stages, stage{kind: stageFFT2D, label: "fft planes", myBox: cur[p.comm.Rank()]})
+		p.dists = append(p.dists, cur)
 		addReshape(pad(slabBoxes(p.global, 1, p.lp)), "slab-1", true)
 		addFFT1D(0)
 		addReshape(outBoxes, "output", false)
@@ -383,3 +393,12 @@ func (p *Plan) CommVolumes() []ExchangeVolume {
 
 // Global returns the transform extents.
 func (p *Plan) Global() [3]int { return p.global }
+
+// Epoch returns the epoch of the world the plan executes under: 0 for a
+// fresh world, +1 per elastic shrink. Caches keyed on plan identity should
+// include it so work from different world incarnations never mixes.
+func (p *Plan) Epoch() int { return p.comm.World().Epoch() }
+
+// Survivors returns the epoch-0 world ranks the plan's world descends from,
+// in comm-rank order — after a shrink, exactly the survivor set.
+func (p *Plan) Survivors() []int { return p.comm.World().OriginRanks() }

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/tensor"
+)
+
+// resumeGlobal synthesizes a deterministic global array for batch entry b.
+func resumeGlobal(n [3]int, b int) []complex128 {
+	data := make([]complex128, n[0]*n[1]*n[2])
+	for i := range data {
+		data[i] = complex(float64(i%17)+0.25*float64(b+1), float64(i%11)-0.5*float64(b))
+	}
+	return data
+}
+
+// gatherField accumulates one rank's output field into a global array.
+func gatherField(dst []complex128, n [3]int, f *Field) {
+	tensor.Unpack(dst, tensor.FullBox(n), f.Box, f.Data)
+}
+
+// cleanRun executes the batch on a fresh world of the given size and returns
+// the gathered global outputs plus the world's virtual makespan.
+func cleanRun(t *testing.T, size int, n [3]int, batch int, opts Options) ([][]complex128, float64) {
+	t.Helper()
+	outs := make([][]complex128, batch)
+	for b := range outs {
+		outs[b] = make([]complex128, n[0]*n[1]*n[2])
+	}
+	var mu sync.Mutex
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true})
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: n, Opts: opts})
+		if err != nil {
+			t.Errorf("clean NewPlan: %v", err)
+			return
+		}
+		boxes := DefaultBricks(size, n)
+		fields := make([]*Field, batch)
+		for b := range fields {
+			g := resumeGlobal(n, b)
+			f := NewField(boxes[c.Rank()])
+			tensor.Pack(g, tensor.FullBox(n), f.Box, f.Data)
+			fields[b] = f
+		}
+		if err := p.ForwardBatch(fields); err != nil {
+			t.Errorf("clean ForwardBatch: %v", err)
+			return
+		}
+		mu.Lock()
+		for b, f := range fields {
+			gatherField(outs[b], n, f)
+		}
+		mu.Unlock()
+	})
+	if res.Err != nil {
+		t.Fatalf("clean run failed: %v", res.Err)
+	}
+	return outs, res.MaxClock
+}
+
+// killedRun executes the batch on a world armed with the fault plan and a
+// checkpoint store; it asserts the execution fails with ErrRankFailed and
+// returns the failed world.
+func killedRun(t *testing.T, size int, n [3]int, batch int, opts Options, fp *faults.Plan) *mpisim.World {
+	t.Helper()
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true, Faults: fp})
+	boxes := DefaultBricks(size, n)
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: n, Opts: opts})
+		if err != nil {
+			t.Errorf("NewPlan: %v", err)
+			return
+		}
+		fields := make([]*Field, batch)
+		for b := range fields {
+			g := resumeGlobal(n, b)
+			f := NewField(boxes[c.Rank()])
+			tensor.Pack(g, tensor.FullBox(n), f.Box, f.Data)
+			fields[b] = f
+		}
+		// Ranks entangled with the victim unwind with ErrRankFailed; on a
+		// late kill, ranks whose exchanges already completed may finish
+		// cleanly. Any other error is a bug.
+		if err := p.ForwardBatch(fields); err != nil && !errors.Is(err, mpisim.ErrRankFailed) {
+			t.Errorf("rank %d: ForwardBatch err = %v, want ErrRankFailed or nil", c.Rank(), err)
+		}
+	})
+	if !errors.Is(res.Err, mpisim.ErrRankFailed) {
+		t.Fatalf("Result.Err = %v, want ErrRankFailed", res.Err)
+	}
+	return w
+}
+
+// resumeRun shrinks the failed world and finishes the batch via ResumeBatch,
+// returning gathered global outputs, the survivor world, and its makespan.
+func resumeRun(t *testing.T, w *mpisim.World, n [3]int, batch int, store *CheckpointStore, fp *faults.Plan) ([][]complex128, *mpisim.World, float64) {
+	t.Helper()
+	var nw *mpisim.World
+	var err error
+	if fp != nil {
+		nw, err = w.ShrinkWithFaults(fp)
+	} else {
+		nw, err = w.Shrink()
+	}
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	outs := make([][]complex128, batch)
+	for b := range outs {
+		outs[b] = make([]complex128, n[0]*n[1]*n[2])
+	}
+	var mu sync.Mutex
+	opts := Options{Decomp: store.Decomp(), Checkpoints: store}
+	res := nw.Run(func(c *mpisim.Comm) {
+		p, perr := NewPlan(c, Config{Global: n, Opts: opts})
+		if perr != nil {
+			t.Errorf("survivor NewPlan: %v", perr)
+			return
+		}
+		fields, rerr := p.ResumeBatch()
+		if rerr != nil {
+			t.Errorf("rank %d: ResumeBatch: %v", c.Rank(), rerr)
+			return
+		}
+		mu.Lock()
+		for b, f := range fields {
+			gatherField(outs[b], n, f)
+		}
+		mu.Unlock()
+	})
+	if res.Err != nil {
+		t.Fatalf("resume run failed: %v", res.Err)
+	}
+	return outs, nw, res.MaxClock
+}
+
+// TestShrinkResumeBitIdentical is the elastic-recovery acceptance bar: a
+// batch interrupted by a mid-pipeline kill, shrunk to the survivors and
+// resumed from its last completed phase checkpoint, produces output
+// bit-identical to a clean run of the same batch at the survivor count.
+func TestShrinkResumeBitIdentical(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	const size, batch = 4, 2
+	store := NewCheckpointStore()
+	opts := Options{Decomp: DecompPencils, Checkpoints: store}
+	// At 8^3 on 4 ranks the pencil-x reshape is a no-op, so op 2 is the output
+	// reshape: rank 2 dies with all three compute phases checkpointed.
+	fp := &faults.Plan{Timeout: 1, Events: []faults.Event{{Kind: faults.Kill, Rank: 2, Op: 2}}}
+	w := killedRun(t, size, n, batch, opts, fp)
+
+	got, _, _ := resumeRun(t, w, n, batch, store, nil)
+	want, _ := cleanRun(t, size-1, n, batch, Options{Decomp: DecompPencils})
+	for b := range want {
+		for i := range want[b] {
+			if got[b][i] != want[b][i] {
+				t.Fatalf("batch %d element %d: resumed %v != clean %v", b, i, got[b][i], want[b][i])
+			}
+		}
+	}
+}
+
+// TestResumeAfterChunkedKill kills a rank between chunk k and k+1 of a
+// chunked pipelined exchange: the failure surfaces as the typed ErrRankFailed
+// (not a hang or a partial result), and the shrunken world resumes the batch
+// cleanly from the last completed stage boundary.
+func TestResumeAfterChunkedKill(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	const size, batch = 4, 1
+	store := NewCheckpointStore()
+	opts := Options{Decomp: DecompPencils, Checkpoints: store,
+		Comm: CommConfig{Chunks: 4}}
+	// With 4-chunk exchanges every chunk is its own fault op on the victim's
+	// counter: op 2 lands between chunk 2 and 3 of the first reshape.
+	fp := &faults.Plan{Timeout: 1, Events: []faults.Event{{Kind: faults.Kill, Rank: 1, Op: 2}}}
+	w := killedRun(t, size, n, batch, opts, fp)
+
+	got, _, _ := resumeRun(t, w, n, batch, store, nil)
+	want, _ := cleanRun(t, size-1, n, batch, Options{Decomp: DecompPencils, Comm: CommConfig{Chunks: 4}})
+	for i := range want[0] {
+		if got[0][i] != want[0][i] {
+			t.Fatalf("element %d: resumed %v != clean %v", i, got[0][i], want[0][i])
+		}
+	}
+}
+
+// TestResumeSurvivorCorruptionTripsABFT injects a silent brick flip on a
+// survivor during the recovery epoch (probe op 0 — the first ABFT-protected
+// compute stage after the resume). The ABFT invariants must catch it and
+// re-execute the phase rather than ship a wrong answer.
+func TestResumeSurvivorCorruptionTripsABFT(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	const size, batch = 4, 1
+	integ := mpisim.IntegrityConfig{Invariants: true}
+	store := NewCheckpointStore()
+	opts := Options{Decomp: DecompPencils, Checkpoints: store}
+	// Op 1 is the pencil-z reshape: the kill leaves "fft axis 2" still to run
+	// after the resume, so the survivor's probe op 0 lands on a compute phase.
+	fp := &faults.Plan{Timeout: 1, Events: []faults.Event{{Kind: faults.Kill, Rank: 2, Op: 1}}}
+
+	w := mpisim.NewWorld(machine.Summit(), size, mpisim.Options{GPUAware: true, Faults: fp, Integrity: integ})
+	boxes := DefaultBricks(size, n)
+	res := w.Run(func(c *mpisim.Comm) {
+		p, err := NewPlan(c, Config{Global: n, Opts: opts})
+		if err != nil {
+			t.Errorf("NewPlan: %v", err)
+			return
+		}
+		g := resumeGlobal(n, 0)
+		f := NewField(boxes[c.Rank()])
+		tensor.Pack(g, tensor.FullBox(n), f.Box, f.Data)
+		if err := p.Forward(f); !errors.Is(err, mpisim.ErrRankFailed) {
+			t.Errorf("rank %d: Forward err = %v, want ErrRankFailed", c.Rank(), err)
+		}
+	})
+	if !errors.Is(res.Err, mpisim.ErrRankFailed) {
+		t.Fatalf("Result.Err = %v, want ErrRankFailed", res.Err)
+	}
+
+	// Survivor world: flip a brick on (new) rank 1's first compute probe.
+	sfp := &faults.Plan{Timeout: 1, Events: []faults.Event{
+		{Kind: faults.CorruptSilent, Rank: 1, Op: 0, Brick: true},
+	}}
+	got, nw, _ := resumeRun(t, w, n, batch, store, sfp)
+	if reex := nw.IntegrityCounters().Snapshot().PhaseReexecs; reex < 1 {
+		t.Errorf("PhaseReexecs = %d, want >= 1 (the injected flip must trip re-execution)", reex)
+	}
+	want, _ := cleanRun(t, size-1, n, batch, Options{Decomp: DecompPencils})
+	for i := range want[0] {
+		if got[0][i] != want[0][i] {
+			t.Fatalf("element %d: resumed-under-corruption %v != clean %v", i, got[0][i], want[0][i])
+		}
+	}
+}
+
+// TestResumeBeatsRestartLateKill is the recovery-latency acceptance bar: for
+// a kill after the third (last) compute phase, finishing the batch via
+// shrink+resume must cost at least 1.5x less virtual time than restarting
+// the transform from its input at the survivor count. Both recoveries pay
+// the same agreement cost and the same redistribution machinery — a restart
+// cannot inherit the dead layout's data for free any more than a resume can
+// — so the gap is exactly the phases the checkpoints let the resume skip.
+func TestResumeBeatsRestartLateKill(t *testing.T) {
+	n := [3]int{32, 32, 32}
+	const size, batch = 8, 1
+	// Pencil exchanges are ops 0..3; op 3 is the output reshape — the kill
+	// lands after the third (last) compute phase.
+	fp := &faults.Plan{Timeout: 1, Events: []faults.Event{{Kind: faults.Kill, Rank: 3, Op: 3}}}
+
+	store := NewCheckpointStore()
+	w := killedRun(t, size, n, batch, Options{Decomp: DecompPencils, Checkpoints: store}, fp)
+	kill := w.KillClock()
+	resumed, _, resumeEnd := resumeRun(t, w, n, batch, store, nil)
+	resumeLat := resumeEnd - kill
+	if resumeLat <= 0 {
+		t.Fatalf("resume latency %g, want > 0", resumeLat)
+	}
+
+	// Restart baseline: the identical failure, but with only the input
+	// boundary retained — recovery redistributes the input and re-executes
+	// every phase at the survivor count.
+	rstore := NewCheckpointStore()
+	rw := killedRun(t, size, n, batch, Options{Decomp: DecompPencils, Checkpoints: rstore}, fp)
+	rstore.TruncateToInput()
+	restarted, _, restartEnd := resumeRun(t, rw, n, batch, rstore, nil)
+	restartLat := restartEnd - rw.KillClock()
+
+	if restartLat < 1.5*resumeLat {
+		t.Errorf("late-kill restart latency %.3gs < 1.5x resume latency %.3gs", restartLat, resumeLat)
+	}
+	// Both recovery paths must land on the same bits.
+	for b := range resumed {
+		for i := range resumed[b] {
+			if resumed[b][i] != restarted[b][i] {
+				t.Fatalf("batch %d element %d: resume %v != restart %v", b, i, resumed[b][i], restarted[b][i])
+			}
+		}
+	}
+}

@@ -211,3 +211,49 @@ func FitGamma(nodes []int, times []float64) (gamma, c float64, err error) {
 	intercept := (sy - slope*sx) / n
 	return -slope, math.Exp(intercept), nil
 }
+
+// RecoveryReshapeTime is the closed form for the elastic recovery reshape:
+// after a shrink from oldRanks to newRanks survivors, the last completed
+// stage boundary (n total elements, elem bytes each on the wire) is
+// redistributed from the survivors' host checkpoints to the survivor
+// decomposition. Each survivor receives its n/newRanks-element share, and in
+// the worst case every one of the other oldRanks−1 checkpoints contributes a
+// piece, so the per-rank time is
+//
+//	T_recover = (Π_old−1)·L + 16n/(B·Π_new)
+//
+// the latency of touching every contributing checkpoint plus the serialized
+// landing of the rank's share at per-link bandwidth.
+func RecoveryReshapeTime(n, oldRanks, newRanks int, elem float64, p Params) float64 {
+	if newRanks < 1 || n <= 0 {
+		return 0
+	}
+	t := elem * float64(n) / (p.Bandwidth * float64(newRanks))
+	if oldRanks > 1 {
+		t += float64(oldRanks-1) * p.Latency
+	}
+	return t
+}
+
+// ResumeSpeedup predicts the recovery-latency ratio restart/resume for a
+// kill after completed of total compute+exchange phases. Both recoveries run
+// at the survivor count, so both pay the recovery reshape — the restart
+// redistributes the input boundary (the dead layout's data is never free
+// after a shrink), the resume the cut boundary — and the gap is exactly the
+// phases the checkpoints let the resume skip:
+//
+//	speedup = (T_recover + T_transform) / (T_recover + T_remaining)
+//
+// transform is the full-transform time (e.g. PencilTime plus compute),
+// recover the RecoveryReshapeTime of the redistributed boundary.
+func ResumeSpeedup(transform, recover float64, completed, total int) float64 {
+	if total <= 0 || completed < 0 || completed > total {
+		return 1
+	}
+	remaining := transform * float64(total-completed) / float64(total)
+	resume := recover + remaining
+	if resume <= 0 {
+		return 1
+	}
+	return (recover + transform) / resume
+}

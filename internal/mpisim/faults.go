@@ -145,6 +145,10 @@ func (c *Comm) faultEnter(op string) faults.Effect {
 	st.ops++
 	eff := w.opts.Faults.Effect(wr, idx)
 	if eff.Kill {
+		// Record the casualty before aborting: Shrink reads the dead set and
+		// the victim's clock (deterministic — it is the victim's own virtual
+		// time at its own op index) to build the survivor world.
+		w.noteDead(wr, st.clock)
 		c.raiseFault(fmt.Errorf("mpisim: %w: rank %d killed during %s (op %d)", ErrRankFailed, wr, op, idx))
 	}
 	if eff.Stall > 0 {

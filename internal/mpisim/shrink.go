@@ -1,0 +1,226 @@
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// ErrShrunk marks a world that has already been shrunk to its survivors: the
+// old handle is superseded and refuses to run or shrink again. Callers that
+// race a concurrent recovery observe it and retry on the successor world.
+var ErrShrunk = errors.New("world shrunk to survivors")
+
+// noteDead records a rank killed by fault injection, with the victim's own
+// virtual clock at the kill site. The first record per rank wins; the clock
+// is deterministic because it is read on the victim's goroutine before the
+// abort fans out.
+func (w *World) noteDead(worldRank int, clock float64) {
+	w.deadMu.Lock()
+	if w.dead == nil {
+		w.dead = make(map[int]float64)
+	}
+	if _, ok := w.dead[worldRank]; !ok {
+		w.dead[worldRank] = clock
+	}
+	w.deadMu.Unlock()
+}
+
+// Epoch returns the world's epoch: 0 for a fresh world, incremented once per
+// Shrink. Plans and serving layers key caches on it so work from different
+// incarnations never mixes.
+func (w *World) Epoch() int { return w.epoch }
+
+// Origin maps one of this world's ranks back to the corresponding rank of
+// the epoch-0 ancestor world (the identity on a fresh world).
+func (w *World) Origin(rank int) int {
+	if w.origin == nil {
+		return rank
+	}
+	return w.origin[rank]
+}
+
+// OriginRanks returns the epoch-0 ranks this world's ranks descend from, in
+// comm-rank order — after one or more shrinks, exactly the survivor set.
+func (w *World) OriginRanks() []int {
+	out := make([]int, w.size)
+	for r := range out {
+		out[r] = w.Origin(r)
+	}
+	return out
+}
+
+// DeadRanks returns the world ranks recorded dead by injected kills, in
+// ascending order (empty while healthy).
+func (w *World) DeadRanks() []int {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	out := make([]int, 0, len(w.dead))
+	for r := range w.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Survivors returns the world ranks not recorded dead, in ascending order.
+// On a healthy world that is every rank.
+func (w *World) Survivors() []int {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	out := make([]int, 0, w.size)
+	for r := 0; r < w.size; r++ {
+		if _, gone := w.dead[r]; !gone {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// KillClock returns the latest recorded kill time — the virtual instant the
+// survivors learn the world is dead (the abort fans out from the last kill).
+// Zero while healthy.
+func (w *World) KillClock() float64 {
+	w.deadMu.Lock()
+	defer w.deadMu.Unlock()
+	t := 0.0
+	for _, c := range w.dead {
+		if c > t {
+			t = c
+		}
+	}
+	return t
+}
+
+// AgreeCost prices the survivor-agreement protocol in virtual time: one
+// host-side collective posting plus a two-phase (gather + broadcast)
+// logarithmic sweep over the s survivors at inter-node latency. This is the
+// virtual cost every survivor pays between the kill and the first operation
+// of the shrunken world (restart recoveries pay it too, before re-planning).
+func (w *World) AgreeCost(s int) float64 {
+	if s <= 1 {
+		return w.model.HostOverheadColl
+	}
+	rounds := math.Ceil(math.Log2(float64(s)))
+	return w.model.HostOverheadColl + 2*rounds*w.model.InterLatency
+}
+
+// Shrink builds the survivor world after a fault abort: a new *World over the
+// ranks not recorded dead, with the epoch bumped, the dead GPUs' physical
+// slots excluded from the placement, every survivor's virtual clock advanced
+// to the kill time plus the agreement cost, and the old fault plan remapped
+// into the survivor coordinate system. Pooled staging buffers are process-
+// wide and carry over untouched.
+//
+// The old world is superseded: a second Shrink (or a Shrink of an
+// already-shrunk handle) fails with ErrShrunk. Shrinking a world with no
+// recorded deaths, or one whose deaths leave no survivors, is an error.
+func (w *World) Shrink() (*World, error) {
+	return w.shrink(nil, false)
+}
+
+// ShrinkWithFaults is Shrink with an explicit fault plan for the survivor
+// world instead of the remapped remainder of the old plan. Deterministic
+// tests use it to place events at exact (rank, op) coordinates of the
+// shrunken world; nil arms no faults.
+func (w *World) ShrinkWithFaults(fp *faults.Plan) (*World, error) {
+	return w.shrink(fp, true)
+}
+
+func (w *World) shrink(fp *faults.Plan, replacePlan bool) (*World, error) {
+	if !w.superseded.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("mpisim: %w", ErrShrunk)
+	}
+	survivors := w.Survivors()
+	dead := w.size - len(survivors)
+	if dead == 0 {
+		w.superseded.Store(false)
+		return nil, fmt.Errorf("mpisim: Shrink on a world with no recorded rank deaths")
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("mpisim: no survivors to shrink to (%d of %d ranks dead)", dead, w.size)
+	}
+
+	// The survivor world keeps the survivors' physical GPU slots: new rank i
+	// sits on the slot old rank survivors[i] occupied, so dead GPUs drop out
+	// of the placement instead of being silently reassigned.
+	oldSlots := w.opts.Placement.Slots(w.model, w.size)
+	slots := make([]int, len(survivors))
+	for i, r := range survivors {
+		slots[i] = oldSlots[r]
+	}
+
+	opts := w.opts
+	opts.Placement = topo.Permutation(slots)
+	if replacePlan {
+		opts.Faults = fp
+	} else {
+		opts.Faults = w.remapFaults(survivors)
+	}
+
+	nw := NewWorld(w.model, len(survivors), opts)
+	nw.epoch = w.epoch + 1
+	// Track lineage back to the epoch-0 world so operators see which of the
+	// original ranks the shrunken world still carries.
+	nw.origin = make([]int, len(survivors))
+	for i, r := range survivors {
+		nw.origin[i] = w.Origin(r)
+	}
+
+	// Every survivor resumes at the same deterministic instant: the victim's
+	// kill time plus the cost of agreeing on the dead set. The racy clocks
+	// survivors happened to hold when the abort unwound them are discarded.
+	resume := w.KillClock() + w.AgreeCost(len(survivors))
+	for _, st := range nw.states {
+		st.clock = resume
+		st.portFreeAt = resume
+	}
+	return nw, nil
+}
+
+// remapFaults carries the old fault plan into the survivor world: events on
+// dead ranks are dropped, survivor events are re-addressed to their new comm
+// rank, and op/probe coordinates are rebased by the operations each survivor
+// had already consumed when the world died (events fully in the past drop
+// out). Best-effort — survivor op counts at an abort depend on how far each
+// rank had progressed; tests needing exact coordinates use ShrinkWithFaults.
+func (w *World) remapFaults(survivors []int) *faults.Plan {
+	old := w.opts.Faults
+	if !old.Active() {
+		return nil
+	}
+	newRank := make(map[int]int, len(survivors))
+	for i, r := range survivors {
+		newRank[r] = i
+	}
+	p := &faults.Plan{Timeout: old.Timeout}
+	for _, e := range old.Events {
+		nr, alive := newRank[e.Rank]
+		if !alive {
+			continue
+		}
+		st := w.states[e.Rank]
+		consumed := st.ops
+		if e.Kind == faults.CorruptSilent && e.Brick {
+			consumed = st.probes
+		}
+		op := e.Op - consumed
+		if op+e.Count <= 0 || op < 0 {
+			// Entirely consumed before the shrink (spans that straddle the
+			// cut are dropped too: their remainder is not separable).
+			continue
+		}
+		ne := e
+		ne.Rank = nr
+		ne.Op = op
+		p.Events = append(p.Events, ne)
+	}
+	if len(p.Events) == 0 {
+		return nil
+	}
+	return p
+}

@@ -182,6 +182,19 @@ type World struct {
 	// invariants did, plus per-rank suspicion scores for the health ledger.
 	integ     IntegrityCounters
 	suspicion []int64 // per world rank, atomic
+
+	// Elastic-recovery state: the epoch this world executes under (0 for a
+	// fresh world, +1 per Shrink), the ranks recorded dead by injected kills
+	// with the victim's clock at the kill site, and whether this world has
+	// already been shrunk (a superseded world refuses further Shrinks).
+	epoch      int
+	deadMu     sync.Mutex
+	dead       map[int]float64 // world rank → virtual clock at the kill
+	superseded atomic.Bool
+	// origin maps this world's ranks back to the epoch-0 world's ranks
+	// (nil for a fresh world: the identity). Operators read it to see which
+	// of the original ranks a shrunken world still carries.
+	origin []int
 }
 
 // sharedSlot backs World.Shared.
